@@ -1,0 +1,75 @@
+//! E2 — Figure 10: elapsed time of all six algorithms as the
+//! quasi-identifier grows, on Adults and Lands End, for k = 2 and k = 10.
+//!
+//! The paper begins with the first three attributes of each schema
+//! (Figure 9 order) and adds attributes in listed order; Adults sweeps QI
+//! sizes 3–9, Lands End 1–6. Output: one table (and CSV) per panel, one
+//! column per algorithm, elapsed seconds.
+//!
+//! Usage: `cargo run -p incognito-bench --release --bin fig10_qi_scaling
+//!         [--rows-adults N] [--rows-landsend N] [--quick]`
+//!
+//! `--quick` trims each sweep's largest sizes and the slowest baseline so a
+//! laptop pass completes in ~a minute.
+
+use incognito_bench::{secs, Algo, Cli, Series};
+use incognito_data::{adults, landsend, AdultsConfig, LandsEndConfig};
+use incognito_table::Table;
+
+fn panel(name: &str, table: &Table, k: u64, sizes: &[usize], algos: &[Algo]) {
+    let mut headers = vec!["QI size".to_string()];
+    headers.extend(algos.iter().map(|a| a.label().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut series = Series::new(name, &header_refs);
+    for &n in sizes {
+        let qi: Vec<usize> = (0..n).collect();
+        let mut row = vec![n.to_string()];
+        for &algo in algos {
+            let (result, elapsed) = algo.run(table, &qi, k);
+            row.push(secs(elapsed));
+            eprintln!(
+                "  {name} qi={n} {}: {}s ({} gens, {} nodes checked)",
+                algo.label(),
+                secs(elapsed),
+                result.len(),
+                result.stats().nodes_checked()
+            );
+        }
+        series.push(row);
+    }
+    series.emit();
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let quick = cli.has("quick");
+    let adults_cfg = AdultsConfig {
+        rows: cli.get("rows-adults").unwrap_or(AdultsConfig::default().rows),
+        ..AdultsConfig::default()
+    };
+    let landsend_cfg = LandsEndConfig {
+        rows: cli
+            .get("rows-landsend")
+            .unwrap_or(if quick { 100_000 } else { LandsEndConfig::default().rows }),
+        ..LandsEndConfig::default()
+    };
+
+    let algos: Vec<Algo> = if quick {
+        Algo::ALL.into_iter().filter(|a| *a != Algo::BottomUpNoRollup).collect()
+    } else {
+        Algo::ALL.to_vec()
+    };
+
+    eprintln!("generating Adults ({} rows)...", adults_cfg.rows);
+    let a = adults::adults(&adults_cfg);
+    let adult_sizes: Vec<usize> = if quick { (3..=6).collect() } else { (3..=9).collect() };
+    panel("fig10_adults_k2", &a, 2, &adult_sizes, &algos);
+    panel("fig10_adults_k10", &a, 10, &adult_sizes, &algos);
+    drop(a);
+
+    eprintln!("generating Lands End ({} rows)...", landsend_cfg.rows);
+    let l = landsend::lands_end(&landsend_cfg);
+    let lands_sizes: Vec<usize> = if quick { (1..=4).collect() } else { (1..=6).collect() };
+    panel("fig10_landsend_k2", &l, 2, &lands_sizes, &algos);
+    panel("fig10_landsend_k10", &l, 10, &lands_sizes, &algos);
+}

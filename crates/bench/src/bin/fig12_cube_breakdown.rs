@@ -1,0 +1,85 @@
+//! E5 — Figure 12: the combined cost of Cube Incognito, split into the
+//! zero-generalization cube build and the anonymization phase that runs on
+//! top of it, for k = 2 and varied quasi-identifier size (Adults 3–9,
+//! Lands End 3–8).
+//!
+//! The paper's observation to reproduce: on the small Adults table the
+//! cube is cheap to build and Cube Incognito beats Basic; on the large
+//! Lands End table the build dominates, but the *marginal* anonymization
+//! cost once the cube is materialized is lower than Basic Incognito.
+//!
+//! Usage: `cargo run -p incognito-bench --release --bin fig12_cube_breakdown
+//!         [--rows-adults N] [--rows-landsend N] [--quick]`
+
+use std::time::Instant;
+
+use incognito_bench::{secs, Cli, Series};
+use incognito_core::cube::{anonymize_with_cube, Cube};
+use incognito_core::{incognito, Config};
+use incognito_data::{adults, landsend, AdultsConfig, LandsEndConfig};
+use incognito_table::Table;
+
+fn panel(name: &str, table: &Table, sizes: &[usize]) {
+    let mut series = Series::new(
+        name,
+        &["QI size", "Cube build", "Anonymization", "Cube total", "Basic Incognito"],
+    );
+    for &n in sizes {
+        let qi: Vec<usize> = (0..n).collect();
+        let cfg = Config::new(2);
+
+        let t0 = Instant::now();
+        let cube = Cube::build(table, &qi, cfg.k).expect("valid workload");
+        let build = t0.elapsed();
+        let t1 = Instant::now();
+        let r = anonymize_with_cube(table, &cube, &cfg, &mut |_| {}).expect("valid workload");
+        let anon = t1.elapsed();
+        drop(cube);
+
+        let t2 = Instant::now();
+        let basic = incognito(table, &qi, &cfg).expect("valid workload");
+        let basic_time = t2.elapsed();
+        assert_eq!(r.generalizations(), basic.generalizations(), "variants agree");
+
+        series.push(vec![
+            n.to_string(),
+            secs(build),
+            secs(anon),
+            secs(build + anon),
+            secs(basic_time),
+        ]);
+        eprintln!(
+            "  {name} qi={n}: build={} anon={} basic={}",
+            secs(build),
+            secs(anon),
+            secs(basic_time)
+        );
+    }
+    series.emit();
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let quick = cli.has("quick");
+    let adults_cfg = AdultsConfig {
+        rows: cli.get("rows-adults").unwrap_or(AdultsConfig::default().rows),
+        ..AdultsConfig::default()
+    };
+    let landsend_cfg = LandsEndConfig {
+        rows: cli
+            .get("rows-landsend")
+            .unwrap_or(if quick { 100_000 } else { LandsEndConfig::default().rows }),
+        ..LandsEndConfig::default()
+    };
+
+    eprintln!("generating Adults ({} rows)...", adults_cfg.rows);
+    let a = adults::adults(&adults_cfg);
+    let adult_sizes: Vec<usize> = if quick { (3..=6).collect() } else { (3..=9).collect() };
+    panel("fig12_adults_k2", &a, &adult_sizes);
+    drop(a);
+
+    eprintln!("generating Lands End ({} rows)...", landsend_cfg.rows);
+    let l = landsend::lands_end(&landsend_cfg);
+    let lands_sizes: Vec<usize> = if quick { (3..=5).collect() } else { (3..=8).collect() };
+    panel("fig12_landsend_k2", &l, &lands_sizes);
+}

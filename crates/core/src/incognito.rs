@@ -1,0 +1,485 @@
+//! Basic and Super-roots Incognito (Figure 8 and §3.3.1 of the paper).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use incognito_table::fxhash::FxHashMap;
+use incognito_table::{FrequencySet, Table};
+use incognito_lattice::{generate_next, CandidateGraph, NodeId};
+
+use crate::error::validate_qi;
+use crate::trace::{CheckSource, TraceEvent};
+use crate::{AlgoError, AnonymizationResult, Config, Generalization, IterationStats, SearchStats};
+
+/// Run Incognito and return **all** k-anonymous full-domain generalizations
+/// of the quasi-identifier `qi` (soundness and completeness, §3.2).
+///
+/// `cfg` selects Basic vs Super-roots behaviour, the prune structure, the
+/// suppression allowance, and the rollup ablation switch.
+///
+/// ```
+/// # use incognito_core::{incognito, Config};
+/// # use incognito_hierarchy::builders;
+/// # use incognito_table::{Attribute, Schema, Table};
+/// # let schema = Schema::new(vec![
+/// #     Attribute::new("Sex", builders::suppression("Sex", &["Male", "Female"]).unwrap()),
+/// #     Attribute::new("Zipcode",
+/// #         builders::round_digits("Zipcode", &["53715", "53710", "53706", "53703"], 2).unwrap()),
+/// # ]).unwrap();
+/// # let mut t = Table::empty(schema);
+/// # for row in [["Male", "53715"], ["Female", "53715"], ["Male", "53703"],
+/// #             ["Male", "53703"], ["Female", "53706"], ["Female", "53706"]] {
+/// #     t.push_row(&row).unwrap();
+/// # }
+/// let result = incognito(&t, &[0, 1], &Config::new(2)).unwrap();
+/// assert!(result.contains(&[1, 0])); // ⟨S1, Z0⟩ is 2-anonymous
+/// assert!(!result.contains(&[0, 0]));
+/// ```
+pub fn incognito(table: &Table, qi: &[usize], cfg: &Config) -> Result<AnonymizationResult, AlgoError> {
+    incognito_impl(table, qi, cfg, &mut |_| {}, AltSource::None)
+}
+
+/// Like [`incognito`], but also returns the full [`TraceEvent`] log.
+pub fn incognito_traced(
+    table: &Table,
+    qi: &[usize],
+    cfg: &Config,
+) -> Result<(AnonymizationResult, Vec<TraceEvent>), AlgoError> {
+    let mut events = Vec::new();
+    let result = incognito_impl(table, qi, cfg, &mut |e| events.push(e), AltSource::None)?;
+    Ok((result, events))
+}
+
+/// Zero-generalization frequency sets keyed by QI-position bitmask
+/// (bit `j` set ⇔ the `j`-th attribute of the sorted QI is present).
+pub(crate) type ZeroCube = FxHashMap<u32, FrequencySet>;
+
+/// An alternative source of frequency sets consulted before scanning the
+/// base table: Cube Incognito's zero-generalization cube, or a
+/// [`crate::materialize::FreqStore`] (§7's strategic materialization).
+pub(crate) enum AltSource<'a, 't> {
+    /// No alternative: roots scan the table (Basic / Super-roots).
+    None,
+    /// Roll root frequency sets up from the zero-generalization cube.
+    Cube(&'a ZeroCube),
+    /// Answer from a materialized frequency-set store.
+    Store(&'a mut crate::materialize::FreqStore<'t>),
+}
+
+/// Shared engine behind Basic, Super-roots, Cube, and store-backed
+/// Incognito.
+pub(crate) fn incognito_impl(
+    table: &Table,
+    qi: &[usize],
+    cfg: &Config,
+    sink: &mut dyn FnMut(TraceEvent),
+    mut alt: AltSource<'_, '_>,
+) -> Result<AnonymizationResult, AlgoError> {
+    let schema = table.schema().clone();
+    let qi = validate_qi(&schema, qi, cfg.k)?;
+    let n = qi.len();
+    // Position of each schema attribute within the sorted QI (for cube masks).
+    let qi_pos: FxHashMap<usize, usize> =
+        qi.iter().enumerate().map(|(p, &a)| (a, p)).collect();
+
+    let mut stats = SearchStats::default();
+    let mut graph = CandidateGraph::initial(&schema, &qi);
+    let mut final_alive: Vec<bool> = Vec::new();
+
+    for i in 1..=n {
+        sink(TraceEvent::IterationStart {
+            arity: i,
+            candidates: graph.num_nodes(),
+            edges: graph.num_edges(),
+        });
+        let num = graph.num_nodes();
+        let mut alive = vec![true; num];
+        let mut marked = vec![false; num];
+        let mut processed = vec![false; num];
+        let mut it_stats = IterationStats {
+            arity: i,
+            candidates: num,
+            edges: graph.num_edges(),
+            ..IterationStats::default()
+        };
+
+        // In-adjacency (direct specializations), for rollup sources and
+        // frequency-set cache eviction.
+        let mut in_adj: Vec<Vec<NodeId>> = vec![Vec::new(); num];
+        for &(s, e) in graph.edges() {
+            in_adj[e as usize].push(s);
+        }
+
+        // Super-roots (§3.3.1): scan once per family at the greatest lower
+        // bound of that family's roots, then roll up to each root. (The
+        // paper's prose says "least upper bound" but its example computes
+        // ⟨B0,S0,Z0⟩ from the three roots of Figure 7(a) — the component-
+        // wise minimum — which is what rolling *up* to each root requires.)
+        let mut superroot_freq: FxHashMap<Vec<usize>, FrequencySet> = FxHashMap::default();
+        if cfg.superroots && matches!(alt, AltSource::None) {
+            let roots = graph.roots();
+            let mut fams: std::collections::BTreeMap<Vec<usize>, Vec<NodeId>> =
+                std::collections::BTreeMap::new();
+            for &r in &roots {
+                fams.entry(graph.node(r).attr_set()).or_default().push(r);
+            }
+            for (attrs, fam_roots) in fams {
+                if fam_roots.len() < 2 {
+                    continue; // a lone root scans directly; no sharing to win
+                }
+                let glb = graph.family_glb(&fam_roots).expect("same family");
+                let freq = cfg.scan(table, &glb.to_group_spec()?)?;
+                stats.freq_from_scan += 1;
+                stats.table_scans += 1;
+                superroot_freq.insert(attrs, freq);
+            }
+        }
+
+        // Frequency-set cache keyed by node id, evicted once every direct
+        // generalization of the node has had its status determined.
+        let mut cache: FxHashMap<NodeId, FrequencySet> = FxHashMap::default();
+        let mut pending_out: Vec<u32> =
+            (0..num).map(|id| graph.direct_generalizations(id as NodeId).len() as u32).collect();
+        // A node's status becomes determined when it is processed or first
+        // marked; that's when its specializations' caches may drain.
+        let mut determined = vec![false; num];
+
+        let mut queue: BinaryHeap<Reverse<(u32, NodeId)>> = BinaryHeap::new();
+        for r in graph.roots() {
+            queue.push(Reverse((graph.node(r).height(), r)));
+        }
+
+        // Transitively mark everything reachable from `from` as k-anonymous
+        // (generalization property; Example 3.1 marks implied
+        // generalizations too).
+        let mark_from = |from: NodeId,
+                         marked: &mut [bool],
+                         processed: &[bool],
+                         determined: &mut [bool],
+                         pending_out: &mut [u32],
+                         cache: &mut FxHashMap<NodeId, FrequencySet>,
+                         it_stats: &mut IterationStats,
+                         sink: &mut dyn FnMut(TraceEvent)| {
+            let mut stack: Vec<NodeId> = graph.direct_generalizations(from).to_vec();
+            while let Some(y) = stack.pop() {
+                if marked[y as usize] {
+                    continue;
+                }
+                marked[y as usize] = true;
+                if !processed[y as usize] {
+                    it_stats.nodes_marked += 1;
+                    sink(TraceEvent::Marked {
+                        spec: graph.node(y).parts.clone(),
+                        implied_by: graph.node(from).parts.clone(),
+                    });
+                }
+                if !determined[y as usize] {
+                    determined[y as usize] = true;
+                    for &x in &in_adj[y as usize] {
+                        pending_out[x as usize] -= 1;
+                        if pending_out[x as usize] == 0 {
+                            cache.remove(&x);
+                        }
+                    }
+                }
+                stack.extend_from_slice(graph.direct_generalizations(y));
+            }
+        };
+
+        while let Some(Reverse((_h, node))) = queue.pop() {
+            if processed[node as usize] || marked[node as usize] {
+                continue;
+            }
+            processed[node as usize] = true;
+            let spec = graph.node(node).to_group_spec()?;
+
+            // Obtain the node's frequency set: rollup from a cached direct
+            // specialization where possible, else super-root / cube / scan.
+            let (freq, via) = if cfg.rollup {
+                let parent = in_adj[node as usize]
+                    .iter()
+                    .find_map(|&p| cache.get(&p).map(|f| (p, f)));
+                if let Some((_pid, pfreq)) = parent {
+                    let target: Vec<u8> = graph.node(node).levels();
+                    stats.freq_from_rollup += 1;
+                    (pfreq.rollup(&schema, &target)?, CheckSource::Rollup)
+                } else {
+                    match &mut alt {
+                        AltSource::Cube(cube) => {
+                            let mask = graph.node(node).parts.iter().fold(0u32, |m, &(a, _)| {
+                                m | (1 << qi_pos[&a])
+                            });
+                            let zero = cube.get(&mask).expect("cube covers every QI subset");
+                            let target: Vec<u8> = graph.node(node).levels();
+                            stats.freq_from_rollup += 1;
+                            (zero.rollup(&schema, &target)?, CheckSource::Cube)
+                        }
+                        AltSource::Store(store) => {
+                            stats.freq_from_rollup += 1;
+                            (store.frequency_set(&spec)?, CheckSource::Cube)
+                        }
+                        AltSource::None => {
+                            if let Some(sr) = superroot_freq.get(&graph.node(node).attr_set()) {
+                                let target: Vec<u8> = graph.node(node).levels();
+                                stats.freq_from_rollup += 1;
+                                (sr.rollup(&schema, &target)?, CheckSource::SuperRoot)
+                            } else {
+                                stats.freq_from_scan += 1;
+                                stats.table_scans += 1;
+                                (cfg.scan(table, &spec)?, CheckSource::TableScan)
+                            }
+                        }
+                    }
+                }
+            } else {
+                stats.freq_from_scan += 1;
+                stats.table_scans += 1;
+                (cfg.scan(table, &spec)?, CheckSource::TableScan)
+            };
+
+            let anonymous = cfg.passes(&freq);
+            it_stats.nodes_checked += 1;
+            sink(TraceEvent::Checked {
+                spec: graph.node(node).parts.clone(),
+                via,
+                anonymous,
+            });
+
+            if anonymous {
+                mark_from(
+                    node,
+                    &mut marked,
+                    &processed,
+                    &mut determined,
+                    &mut pending_out,
+                    &mut cache,
+                    &mut it_stats,
+                    sink,
+                );
+            } else {
+                alive[node as usize] = false;
+                for &g in graph.direct_generalizations(node) {
+                    if !processed[g as usize] && !marked[g as usize] {
+                        queue.push(Reverse((graph.node(g).height(), g)));
+                    }
+                }
+                // Only failing nodes' frequency sets seed rollups upward —
+                // anonymous nodes' generalizations are marked, not computed.
+                if cfg.rollup && pending_out[node as usize] > 0 {
+                    cache.insert(node, freq);
+                }
+            }
+
+            if !determined[node as usize] {
+                determined[node as usize] = true;
+                for &x in &in_adj[node as usize] {
+                    pending_out[x as usize] -= 1;
+                    if pending_out[x as usize] == 0 {
+                        cache.remove(&x);
+                    }
+                }
+            }
+        }
+
+        it_stats.survivors = alive.iter().filter(|&&a| a).count();
+        sink(TraceEvent::IterationEnd { survivors: it_stats.survivors });
+        stats.push_iteration(it_stats);
+
+        if i == n {
+            final_alive = alive;
+        } else {
+            graph = generate_next(&graph, &alive, cfg.prune);
+        }
+    }
+
+    let generalizations: Vec<Generalization> = final_alive
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| a)
+        .map(|(id, _)| Generalization { levels: graph.node(id as NodeId).levels() })
+        .collect();
+    Ok(AnonymizationResult::new(qi, cfg.k, cfg.max_suppress, generalizations, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{exhaustive_truth, patients};
+    use crate::trace::CheckSource;
+
+    #[test]
+    fn patients_2anonymous_sz() {
+        // Example 3.1 / Figure 5(a): over ⟨Sex, Zipcode⟩ with k = 2 the
+        // anonymous generalizations are ⟨S1,Z0⟩, ⟨S1,Z1⟩, ⟨S1,Z2⟩, ⟨S0,Z2⟩.
+        let t = patients();
+        let r = incognito(&t, &[1, 2], &Config::new(2)).unwrap();
+        let got: Vec<Vec<u8>> = r.generalizations().iter().map(|g| g.levels.clone()).collect();
+        assert_eq!(got, vec![vec![0, 2], vec![1, 0], vec![1, 1], vec![1, 2]]);
+        assert_eq!(r.minimal_height(), Some(1));
+    }
+
+    #[test]
+    fn patients_full_qi_matches_exhaustive_truth() {
+        let t = patients();
+        for k in [1, 2, 3, 6, 7] {
+            let cfg = Config::new(k);
+            let r = incognito(&t, &[0, 1, 2], &cfg).unwrap();
+            let got: Vec<Vec<u8>> =
+                r.generalizations().iter().map(|g| g.levels.clone()).collect();
+            assert_eq!(got, exhaustive_truth(&t, &[0, 1, 2], &cfg), "k={k}");
+        }
+    }
+
+    #[test]
+    fn figure5a_search_narrative() {
+        // The ⟨Sex, Zipcode⟩ iteration of Example 3.1: ⟨S0,Z0⟩ fails, its
+        // generalizations ⟨S1,Z0⟩ and ⟨S0,Z1⟩ are checked via rollup;
+        // ⟨S1,Z0⟩ passes (marking ⟨S1,Z1⟩, ⟨S1,Z2⟩); ⟨S0,Z1⟩ fails; ⟨S0,Z2⟩
+        // passes. Exactly 4 checks and 2 marks in iteration 2.
+        let t = patients();
+        let (_r, events) = incognito_traced(&t, &[1, 2], &Config::new(2)).unwrap();
+        let iter2_start = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::IterationStart { arity: 2, .. }))
+            .unwrap();
+        let iter2 = &events[iter2_start..];
+        let checks: Vec<_> = iter2
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Checked { spec, anonymous, via } => {
+                    Some((spec.clone(), *anonymous, *via))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(checks.len(), 4);
+        assert_eq!(checks[0].0, vec![(1, 0), (2, 0)]);
+        assert!(!checks[0].1);
+        assert_eq!(checks[0].2, CheckSource::TableScan);
+        // All later checks in the iteration derive from rollup.
+        assert!(checks[1..].iter().all(|c| c.2 == CheckSource::Rollup));
+        let verdicts: std::collections::HashMap<_, _> =
+            checks.iter().map(|(s, a, _)| (s.clone(), *a)).collect();
+        assert!(verdicts[&vec![(1, 1), (2, 0)]]);
+        assert!(!verdicts[&vec![(1, 0), (2, 1)]]);
+        assert!(verdicts[&vec![(1, 0), (2, 2)]]);
+        let marks: Vec<_> = iter2
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Marked { spec, .. } => Some(spec.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(marks.len(), 2);
+        assert!(marks.contains(&vec![(1, 1), (2, 1)]));
+        assert!(marks.contains(&vec![(1, 1), (2, 2)]));
+    }
+
+    #[test]
+    fn superroots_and_prune_variants_agree_with_basic() {
+        let t = patients();
+        let base = incognito(&t, &[0, 1, 2], &Config::new(2)).unwrap();
+        for cfg in [
+            Config::new(2).with_superroots(true),
+            Config::new(2).with_prune(incognito_lattice::PruneStrategy::HashSet),
+            Config::new(2).with_rollup(false),
+            Config::new(2).with_superroots(true).with_rollup(false),
+        ] {
+            let r = incognito(&t, &[0, 1, 2], &cfg).unwrap();
+            assert_eq!(r.generalizations(), base.generalizations(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn suppression_threshold_expands_the_result_set() {
+        let t = patients();
+        // Without suppression ⟨B0,S0,Z0⟩-adjacent nodes fail; allowing 2
+        // outliers makes strictly more generalizations pass.
+        let strict = incognito(&t, &[1, 2], &Config::new(2)).unwrap();
+        let relaxed = incognito(&t, &[1, 2], &Config::new(2).with_suppression(2)).unwrap();
+        assert!(relaxed.len() > strict.len());
+        for g in strict.generalizations() {
+            assert!(relaxed.contains(&g.levels));
+        }
+        // ⟨S0,Z0⟩ has two singleton groups — suppressible within budget 2.
+        assert!(relaxed.contains(&[0, 0]));
+        assert!(!strict.contains(&[0, 0]));
+    }
+
+    #[test]
+    fn k1_accepts_everything() {
+        let t = patients();
+        let r = incognito(&t, &[1, 2], &Config::new(1)).unwrap();
+        assert_eq!(r.len(), 6); // entire ⟨Sex, Zipcode⟩ lattice
+        // Only the roots are ever checked (S0 and Z0 in iteration 1,
+        // ⟨S0, Z0⟩ in iteration 2); everything above them is marked.
+        assert_eq!(r.stats().nodes_checked(), 3);
+        assert_eq!(r.stats().nodes_marked(), 3 + 5);
+        assert_eq!(r.stats().table_scans, 3);
+    }
+
+    #[test]
+    fn unsatisfiable_k_returns_empty() {
+        let t = patients();
+        let r = incognito(&t, &[0, 1, 2], &Config::new(7)).unwrap();
+        assert!(r.is_empty()); // only 6 tuples exist
+        let r6 = incognito(&t, &[0, 1, 2], &Config::new(6)).unwrap();
+        assert_eq!(
+            r6.generalizations().iter().map(|g| g.levels.clone()).collect::<Vec<_>>(),
+            vec![vec![1, 1, 2]] // full suppression only
+        );
+    }
+
+    #[test]
+    fn single_attribute_qi() {
+        let t = patients();
+        let r = incognito(&t, &[2], &Config::new(2)).unwrap();
+        // Zipcode alone: Z0 has singletons? Counts: 53715×1? rows:
+        // 53715,53715,53703,53703,53706,53706 → Z0 counts (2,2,2) → 2-anon.
+        assert!(r.contains(&[0]));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.stats().iterations.len(), 1);
+    }
+
+    #[test]
+    fn qi_order_is_canonicalized() {
+        let t = patients();
+        let a = incognito(&t, &[2, 1, 0], &Config::new(2)).unwrap();
+        let b = incognito(&t, &[0, 1, 2], &Config::new(2)).unwrap();
+        assert_eq!(a.qi(), b.qi());
+        assert_eq!(a.generalizations(), b.generalizations());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let t = patients();
+        assert!(matches!(
+            incognito(&t, &[], &Config::new(2)),
+            Err(AlgoError::EmptyQuasiIdentifier)
+        ));
+        assert!(matches!(
+            incognito(&t, &[0, 0], &Config::new(2)),
+            Err(AlgoError::DuplicateQiAttribute(0))
+        ));
+        assert!(matches!(
+            incognito(&t, &[0], &Config::new(0)),
+            Err(AlgoError::InvalidK(0))
+        ));
+        assert!(matches!(incognito(&t, &[9], &Config::new(2)), Err(AlgoError::Table(_))));
+    }
+
+    #[test]
+    fn materialize_minimal_view() {
+        let t = patients();
+        let r = incognito(&t, &[1, 2], &Config::new(2)).unwrap();
+        let min = r.minimal_by_height()[0];
+        assert_eq!(min.levels, vec![1, 0]);
+        let (view, suppressed) = r.materialize(&t, min).unwrap();
+        assert_eq!(suppressed, 0);
+        assert_eq!(view.num_rows(), 6);
+        assert_eq!(view.label(0, 1), "*"); // Sex generalized away
+        assert_eq!(view.label(0, 2), "53715"); // Zipcode intact
+        assert_eq!(view.label(0, 0), "1/21/76"); // non-QI Birthdate untouched
+        assert_eq!(view.label(0, 3), "Flu"); // sensitive attribute untouched
+    }
+}

@@ -1,0 +1,141 @@
+//! The Incognito full-domain k-anonymization algorithm suite.
+//!
+//! This crate implements every search algorithm of *Incognito: Efficient
+//! Full-Domain K-Anonymity* (SIGMOD 2005):
+//!
+//! * [`incognito`] — **Basic Incognito** (Figure 8): iterate over
+//!   quasi-identifier subset sizes, breadth-first-search each candidate
+//!   graph bottom-up with rollup from parents and generalization-property
+//!   marking, and a-priori-generate the next candidate graph;
+//! * **Super-roots Incognito** (§3.3.1) — enabled with
+//!   [`Config::superroots`]: group each iteration's roots by family and
+//!   scan the table once per family at the group's greatest lower bound;
+//! * [`cube::cube_incognito`] — **Cube Incognito** (§3.3.2): pre-compute
+//!   the zero-generalization frequency sets of every quasi-identifier
+//!   subset bottom-up (data-cube style) and answer all root frequency sets
+//!   from them;
+//! * [`bottom_up::bottom_up_search`] — the exhaustive bottom-up
+//!   breadth-first baseline of §2.2, with or without rollup;
+//! * [`binary_search::samarati_binary_search`] — Samarati's binary search
+//!   on generalization height (§2.2);
+//! * [`datafly::datafly`] — Sweeney's greedy Datafly heuristic (§6), for
+//!   comparison: k-anonymous output but no minimality guarantee.
+//!
+//! All algorithms share [`Config`] (k, the §2.1 tuple-suppression
+//! threshold, and search options), produce an [`AnonymizationResult`]
+//! whose generalizations can be materialized with
+//! [`AnonymizationResult::materialize`], and record [`SearchStats`] —
+//! the node/scan/rollup counters behind the paper's §4.2.1 analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary_search;
+pub mod bottom_up;
+pub mod cube;
+pub mod datafly;
+pub mod distance_matrix;
+mod error;
+pub mod incognito;
+pub mod materialize;
+pub mod muargus;
+mod result;
+mod stats;
+#[cfg(test)]
+pub(crate) mod testutil;
+pub mod trace;
+pub mod verify;
+
+pub use error::AlgoError;
+pub use incognito::incognito;
+pub use result::{AnonymizationResult, Generalization};
+pub use stats::{IterationStats, SearchStats};
+
+use incognito_lattice::PruneStrategy;
+
+/// Shared algorithm configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// The anonymity parameter k (≥ 1).
+    pub k: u64,
+    /// Maximum number of outlier tuples that may be suppressed (§2.1);
+    /// 0 disables suppression.
+    pub max_suppress: u64,
+    /// Prune-phase membership structure (Incognito only).
+    pub prune: PruneStrategy,
+    /// Enable the super-roots optimization (Incognito only).
+    pub superroots: bool,
+    /// Enable rollup from parent frequency sets. Incognito always benefits;
+    /// exposed so the rollup ablation can switch it off.
+    pub rollup: bool,
+    /// Worker threads for base-table scans (1 = serial). Rollups and graph
+    /// generation are cheap relative to scans, so only scans parallelize.
+    pub threads: usize,
+}
+
+impl Config {
+    /// Configuration for a plain k with no suppression: Basic Incognito
+    /// defaults (hash-tree prune, no super-roots, rollup on).
+    pub fn new(k: u64) -> Self {
+        Config {
+            k,
+            max_suppress: 0,
+            prune: PruneStrategy::HashTree,
+            superroots: false,
+            rollup: true,
+            threads: 1,
+        }
+    }
+
+    /// Set the suppression threshold.
+    pub fn with_suppression(mut self, max_suppress: u64) -> Self {
+        self.max_suppress = max_suppress;
+        self
+    }
+
+    /// Enable/disable super-roots.
+    pub fn with_superroots(mut self, on: bool) -> Self {
+        self.superroots = on;
+        self
+    }
+
+    /// Enable/disable rollup.
+    pub fn with_rollup(mut self, on: bool) -> Self {
+        self.rollup = on;
+        self
+    }
+
+    /// Choose the prune strategy.
+    pub fn with_prune(mut self, prune: PruneStrategy) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Set the scan worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Scan `table` for a frequency set honoring the thread setting.
+    pub(crate) fn scan(
+        &self,
+        table: &incognito_table::Table,
+        spec: &incognito_table::GroupSpec,
+    ) -> Result<incognito_table::FrequencySet, incognito_table::TableError> {
+        if self.threads > 1 {
+            table.frequency_set_parallel(spec, self.threads)
+        } else {
+            table.frequency_set(spec)
+        }
+    }
+
+    /// The k-anonymity predicate including the suppression allowance.
+    pub(crate) fn passes(&self, freq: &incognito_table::FrequencySet) -> bool {
+        if self.max_suppress == 0 {
+            freq.is_k_anonymous(self.k)
+        } else {
+            freq.is_k_anonymous_with_suppression(self.k, self.max_suppress)
+        }
+    }
+}

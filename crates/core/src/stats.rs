@@ -1,0 +1,90 @@
+/// Counters describing one subset-size iteration of a search.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IterationStats {
+    /// Subset size `i` of this iteration (1-based).
+    pub arity: usize,
+    /// Candidate nodes in `Cᵢ`.
+    pub candidates: usize,
+    /// Edges in `Eᵢ`.
+    pub edges: usize,
+    /// Nodes whose k-anonymity was determined by computing a frequency set.
+    pub nodes_checked: usize,
+    /// Nodes skipped because the generalization property marked them.
+    pub nodes_marked: usize,
+    /// Nodes found k-anonymous in this iteration (size of `Sᵢ`).
+    pub survivors: usize,
+}
+
+/// Aggregate search statistics — the quantities behind §4.2 of the paper
+/// (nodes searched, base-table scans saved by super-roots, frequency sets
+/// answered by rollup instead of scans).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Per-iteration breakdown (one entry per subset size for Incognito;
+    /// a single entry for the whole-lattice baselines).
+    pub iterations: Vec<IterationStats>,
+    /// Frequency sets computed by scanning the base table.
+    pub freq_from_scan: usize,
+    /// Frequency sets computed by rolling up another frequency set.
+    pub freq_from_rollup: usize,
+    /// Frequency sets computed by projecting a wider frequency set
+    /// (Cube Incognito's zero-generalization pre-computation).
+    pub freq_from_projection: usize,
+    /// Full passes over the base table.
+    pub table_scans: usize,
+    /// Wall-clock spent pre-computing the zero-generalization cube
+    /// (Cube Incognito only; the Figure 12 "cube build time" bar).
+    pub cube_build: Option<std::time::Duration>,
+}
+
+impl SearchStats {
+    /// Total nodes whose k-anonymity status was determined by computing a
+    /// frequency set — the "nodes searched" column of the §4.2.1 table.
+    pub fn nodes_checked(&self) -> usize {
+        self.iterations.iter().map(|i| i.nodes_checked).sum()
+    }
+
+    /// Total nodes skipped via the generalization property.
+    pub fn nodes_marked(&self) -> usize {
+        self.iterations.iter().map(|i| i.nodes_marked).sum()
+    }
+
+    /// Total candidate nodes generated across iterations.
+    pub fn candidates(&self) -> usize {
+        self.iterations.iter().map(|i| i.candidates).sum()
+    }
+
+    /// Record an iteration.
+    pub(crate) fn push_iteration(&mut self, it: IterationStats) {
+        self.iterations.push(it);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_iterations() {
+        let mut s = SearchStats::default();
+        s.push_iteration(IterationStats {
+            arity: 1,
+            candidates: 5,
+            edges: 3,
+            nodes_checked: 4,
+            nodes_marked: 1,
+            survivors: 5,
+        });
+        s.push_iteration(IterationStats {
+            arity: 2,
+            candidates: 8,
+            edges: 7,
+            nodes_checked: 6,
+            nodes_marked: 2,
+            survivors: 4,
+        });
+        assert_eq!(s.nodes_checked(), 10);
+        assert_eq!(s.nodes_marked(), 3);
+        assert_eq!(s.candidates(), 13);
+    }
+}

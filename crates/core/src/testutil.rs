@@ -1,0 +1,62 @@
+//! Shared fixtures for the crate's unit tests.
+
+use incognito_hierarchy::builders;
+use incognito_lattice::CandidateGraph;
+use incognito_table::{Attribute, Schema, Table};
+
+use crate::Config;
+
+/// The full Patients table of Figure 1 with the Figure 2 hierarchies
+/// (QI ⟨Birthdate, Sex, Zipcode⟩ plus the sensitive Disease attribute).
+pub(crate) fn patients() -> Table {
+    let schema = Schema::new(vec![
+        Attribute::new(
+            "Birthdate",
+            builders::suppression("Birthdate", &["1/21/76", "2/28/76", "4/13/86"]).unwrap(),
+        ),
+        Attribute::new("Sex", builders::suppression("Sex", &["Male", "Female"]).unwrap()),
+        Attribute::new(
+            "Zipcode",
+            builders::round_digits("Zipcode", &["53715", "53710", "53706", "53703"], 2).unwrap(),
+        ),
+        Attribute::new(
+            "Disease",
+            builders::identity(
+                "Disease",
+                &["Flu", "Hepatitis", "Brochitis", "Broken Arm", "Sprained Ankle", "Hang Nail"],
+            )
+            .unwrap(),
+        ),
+    ])
+    .unwrap();
+    let mut t = Table::empty(schema);
+    for row in [
+        ["1/21/76", "Male", "53715", "Flu"],
+        ["4/13/86", "Female", "53715", "Hepatitis"],
+        ["2/28/76", "Male", "53703", "Brochitis"],
+        ["1/21/76", "Male", "53703", "Broken Arm"],
+        ["4/13/86", "Female", "53706", "Sprained Ankle"],
+        ["2/28/76", "Female", "53706", "Hang Nail"],
+    ] {
+        t.push_row(&row).unwrap();
+    }
+    t
+}
+
+/// Brute-force ground truth: every full-QI level combination of the
+/// complete lattice, checked directly against the table.
+pub(crate) fn exhaustive_truth(table: &Table, qi: &[usize], cfg: &Config) -> Vec<Vec<u8>> {
+    let schema = table.schema().clone();
+    let mut sorted = qi.to_vec();
+    sorted.sort_unstable();
+    let lattice = CandidateGraph::full_lattice(&schema, &sorted);
+    let mut out = Vec::new();
+    for node in lattice.nodes() {
+        let freq = table.frequency_set(&node.to_group_spec().unwrap()).unwrap();
+        if cfg.passes(&freq) {
+            out.push(node.levels());
+        }
+    }
+    out.sort();
+    out
+}

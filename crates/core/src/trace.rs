@@ -1,0 +1,55 @@
+//! Structured trace of an Incognito run, used by the quickstart example to
+//! reproduce the paper's Example 3.1 narrative and by tests that assert on
+//! search behaviour (what was scanned, rolled up, marked).
+
+use incognito_hierarchy::LevelNo;
+
+/// How a node's frequency set was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckSource {
+    /// Scanned the base table.
+    TableScan,
+    /// Rolled up from a direct specialization's frequency set.
+    Rollup,
+    /// Rolled up from the family's super-root frequency set (§3.3.1).
+    SuperRoot,
+    /// Rolled up from a pre-computed zero-generalization frequency set
+    /// (Cube Incognito, §3.3.2).
+    Cube,
+}
+
+/// One event in a search trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A subset-size iteration began on a candidate graph.
+    IterationStart {
+        /// Subset size `i`.
+        arity: usize,
+        /// Number of candidate nodes.
+        candidates: usize,
+        /// Number of edges.
+        edges: usize,
+    },
+    /// A node's k-anonymity was checked by computing a frequency set.
+    Checked {
+        /// The node's `(attribute, level)` parts.
+        spec: Vec<(usize, LevelNo)>,
+        /// Where its frequency set came from.
+        via: CheckSource,
+        /// The verdict.
+        anonymous: bool,
+    },
+    /// A node was marked k-anonymous via the generalization property
+    /// without computing its frequency set.
+    Marked {
+        /// The marked node.
+        spec: Vec<(usize, LevelNo)>,
+        /// The anonymous node that implied it.
+        implied_by: Vec<(usize, LevelNo)>,
+    },
+    /// An iteration finished.
+    IterationEnd {
+        /// Number of nodes that survived (`|Sᵢ|`).
+        survivors: usize,
+    },
+}

@@ -1,0 +1,216 @@
+//! Minimal CSV import/export for [`Table`]s: header row of attribute
+//! names, RFC-4180-style quoting for fields containing commas, quotes, or
+//! newlines. Enough for moving anonymized releases in and out of the
+//! library without pulling a dependency.
+
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+use incognito_table::{Schema, Table, TableError};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// The header did not match the schema's attribute names.
+    HeaderMismatch {
+        /// Expected names (schema order).
+        expected: Vec<String>,
+        /// Names found in the file.
+        found: Vec<String>,
+    },
+    /// A row failed to parse or load.
+    Row {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A value was rejected by the table.
+    Table(TableError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::HeaderMismatch { expected, found } => {
+                write!(f, "header mismatch: expected {expected:?}, found {found:?}")
+            }
+            CsvError::Row { line, message } => write!(f, "line {line}: {message}"),
+            CsvError::Table(e) => write!(f, "table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl From<TableError> for CsvError {
+    fn from(e: TableError) -> Self {
+        CsvError::Table(e)
+    }
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Split one CSV record, honoring quotes. Returns an error message on
+/// malformed quoting.
+fn split_record(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cur.push('"');
+                }
+                '"' => in_quotes = false,
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".to_string());
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Write `table` as CSV (ground labels) with a header row.
+pub fn write_csv<W: Write>(table: &Table, out: W) -> io::Result<()> {
+    let mut w = io::BufWriter::new(out);
+    let schema = table.schema();
+    let header: Vec<String> =
+        schema.attributes().iter().map(|a| quote(a.name())).collect();
+    writeln!(w, "{}", header.join(","))?;
+    for row in 0..table.num_rows() {
+        let mut line = String::new();
+        for attr in 0..schema.arity() {
+            if attr > 0 {
+                line.push(',');
+            }
+            line.push_str(&quote(table.label(row, attr)));
+        }
+        writeln!(w, "{line}")?;
+    }
+    w.flush()
+}
+
+/// Read a CSV written by [`write_csv`] (or hand-made with the same layout)
+/// into a table over `schema`. The header must list the schema's attribute
+/// names in order; every field must be present in the corresponding ground
+/// domain.
+pub fn read_csv<R: BufRead>(schema: Arc<Schema>, input: R) -> Result<Table, CsvError> {
+    let mut lines = input.lines();
+    let header_line = lines
+        .next()
+        .ok_or(CsvError::Row { line: 1, message: "missing header".to_string() })??;
+    let found = split_record(&header_line)
+        .map_err(|m| CsvError::Row { line: 1, message: m })?;
+    let expected: Vec<String> =
+        schema.attributes().iter().map(|a| a.name().to_string()).collect();
+    if found != expected {
+        return Err(CsvError::HeaderMismatch { expected, found });
+    }
+
+    let mut table = Table::empty(schema);
+    for (idx, line) in lines.enumerate() {
+        let lineno = idx + 2;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields =
+            split_record(&line).map_err(|m| CsvError::Row { line: lineno, message: m })?;
+        let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        table.push_row(&refs).map_err(|e| CsvError::Row {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patients;
+
+    #[test]
+    fn roundtrip_patients() {
+        let t = patients();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("Birthdate,Sex,Zipcode,Disease\n"));
+        let back = read_csv(t.schema().clone(), &buf[..]).unwrap();
+        assert_eq!(back.num_rows(), t.num_rows());
+        for r in 0..t.num_rows() {
+            for a in 0..t.schema().arity() {
+                assert_eq!(back.label(r, a), t.label(r, a));
+            }
+        }
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(
+            split_record("\"a,b\",c,\"say \"\"hi\"\"\"").unwrap(),
+            vec!["a,b", "c", "say \"hi\""]
+        );
+        assert!(split_record("\"oops").is_err());
+    }
+
+    #[test]
+    fn header_mismatch_detected() {
+        let t = patients();
+        let bad = b"Nope,Sex,Zipcode,Disease\n".to_vec();
+        assert!(matches!(
+            read_csv(t.schema().clone(), &bad[..]),
+            Err(CsvError::HeaderMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_value_reports_line() {
+        let t = patients();
+        let bad = b"Birthdate,Sex,Zipcode,Disease\n1/21/76,Male,99999,Flu\n".to_vec();
+        match read_csv(t.schema().clone(), &bad[..]) {
+            Err(CsvError::Row { line: 2, .. }) => {}
+            other => panic!("expected row error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let t = patients();
+        let csv = b"Birthdate,Sex,Zipcode,Disease\n\n1/21/76,Male,53715,Flu\n\n".to_vec();
+        let back = read_csv(t.schema().clone(), &csv[..]).unwrap();
+        assert_eq!(back.num_rows(), 1);
+    }
+}

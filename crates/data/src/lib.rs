@@ -1,0 +1,33 @@
+//! Datasets for the Incognito reproduction.
+//!
+//! The paper's experiments (§4.1, Figure 9) use two real databases that are
+//! not redistributable here:
+//!
+//! * **Adults** — the UCI census extract (45,222 complete records, nine
+//!   quasi-identifier attributes);
+//! * **Lands End** — proprietary point-of-sale data (4,591,581 records,
+//!   eight quasi-identifier attributes).
+//!
+//! This crate provides deterministic synthetic generators matching Figure 9
+//! exactly in schema shape — attribute names, distinct-value counts, and
+//! generalization-hierarchy heights — with census/retail-like skew in the
+//! value distributions. The algorithmic quantities the paper measures
+//! (lattice sizes, pruning behaviour, frequency-set sizes) are functions of
+//! exactly those shapes, which is what makes the substitution faithful; see
+//! DESIGN.md for the full argument.
+//!
+//! Also here: the [`patients`] running example of Figure 1 (with the
+//! Figure 2 hierarchies) and simple CSV import/export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adults;
+pub mod csvio;
+pub mod landsend;
+mod patients;
+pub mod spec;
+
+pub use adults::{adults, adults_default, AdultsConfig};
+pub use landsend::{lands_end, lands_end_default, LandsEndConfig};
+pub use patients::{patients, voter_registration};

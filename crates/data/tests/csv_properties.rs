@@ -1,0 +1,41 @@
+//! Property tests for CSV round-tripping: arbitrary labels (including
+//! commas, quotes, and embedded whitespace) survive write → read intact.
+
+use proptest::prelude::*;
+
+use incognito_data::csvio::{read_csv, write_csv};
+use incognito_hierarchy::builders;
+use incognito_table::{Attribute, Schema, Table};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_arbitrary_labels(
+        labels in proptest::collection::btree_set("[ -~]{1,12}", 1..12),
+        rows in proptest::collection::vec(any::<u8>(), 0..50),
+    ) {
+        // Ground domain: printable-ASCII labels (may contain commas and
+        // quotes, but not newlines — labels are cell values).
+        let labels: Vec<String> = labels.into_iter().collect();
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let schema = Schema::new(vec![
+            Attribute::new("X", builders::identity("X", &refs).unwrap()),
+            Attribute::new("Y", builders::identity("Y", &refs).unwrap()),
+        ]).unwrap();
+        let mut table = Table::empty(schema);
+        for r in &rows {
+            let x = &labels[*r as usize % labels.len()];
+            let y = &labels[(*r as usize / 7) % labels.len()];
+            table.push_row(&[x, y]).unwrap();
+        }
+        let mut buf = Vec::new();
+        write_csv(&table, &mut buf).unwrap();
+        let back = read_csv(table.schema().clone(), &buf[..]).unwrap();
+        prop_assert_eq!(back.num_rows(), table.num_rows());
+        for row in 0..table.num_rows() {
+            prop_assert_eq!(back.label(row, 0), table.label(row, 0));
+            prop_assert_eq!(back.label(row, 1), table.label(row, 1));
+        }
+    }
+}

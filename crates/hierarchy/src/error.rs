@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Errors raised while constructing or querying a [`crate::Hierarchy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// The ground domain was empty.
+    EmptyDomain,
+    /// A duplicate label appeared within one level.
+    DuplicateLabel {
+        /// Level at which the duplicate occurred.
+        level: u8,
+        /// The offending label.
+        label: String,
+    },
+    /// A parent map entry referenced an id outside the next level's domain.
+    ParentOutOfRange {
+        /// Level the map generalizes *from*.
+        level: u8,
+        /// Child id with the bad parent pointer.
+        child: u32,
+        /// The out-of-range parent id.
+        parent: u32,
+    },
+    /// A parent map's length did not match the size of its source level.
+    ParentMapLength {
+        /// Level the map generalizes *from*.
+        level: u8,
+        /// Expected number of entries (size of the source level).
+        expected: usize,
+        /// Number of entries supplied.
+        actual: usize,
+    },
+    /// A value at some level had no children — γ must be onto so every
+    /// generalized value corresponds to at least one ground value.
+    UnreachableValue {
+        /// Level containing the orphan value.
+        level: u8,
+        /// Its id.
+        id: u32,
+    },
+    /// Taxonomy-tree leaves were not all at the same depth, which full-domain
+    /// generalization requires.
+    UnbalancedTaxonomy {
+        /// Depth of the first leaf encountered.
+        expected_depth: usize,
+        /// Label of a leaf at a different depth.
+        leaf: String,
+        /// That leaf's depth.
+        actual_depth: usize,
+    },
+    /// The requested level exceeds the hierarchy height.
+    LevelOutOfRange {
+        /// Requested level.
+        level: u8,
+        /// Height of the hierarchy.
+        height: u8,
+    },
+    /// A label was looked up that does not exist in the ground domain.
+    UnknownValue(String),
+    /// A hierarchy must have at least two levels to be useful; a chain of
+    /// length one is permitted only via [`crate::builders::identity`].
+    NoGeneralizations,
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::EmptyDomain => write!(f, "ground domain is empty"),
+            HierarchyError::DuplicateLabel { level, label } => {
+                write!(f, "duplicate label {label:?} at level {level}")
+            }
+            HierarchyError::ParentOutOfRange { level, child, parent } => write!(
+                f,
+                "parent map at level {level}: child {child} points to out-of-range parent {parent}"
+            ),
+            HierarchyError::ParentMapLength { level, expected, actual } => write!(
+                f,
+                "parent map at level {level} has {actual} entries, expected {expected}"
+            ),
+            HierarchyError::UnreachableValue { level, id } => {
+                write!(f, "value {id} at level {level} has no children")
+            }
+            HierarchyError::UnbalancedTaxonomy { expected_depth, leaf, actual_depth } => write!(
+                f,
+                "taxonomy leaf {leaf:?} at depth {actual_depth}, expected all leaves at depth {expected_depth}"
+            ),
+            HierarchyError::LevelOutOfRange { level, height } => {
+                write!(f, "level {level} out of range for hierarchy of height {height}")
+            }
+            HierarchyError::UnknownValue(v) => write!(f, "unknown ground value {v:?}"),
+            HierarchyError::NoGeneralizations => {
+                write!(f, "hierarchy must define at least one generalization step")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}

@@ -1,0 +1,49 @@
+//! Domain generalization hierarchies for full-domain k-anonymity.
+//!
+//! This crate implements the generalization machinery of Section 2 of
+//! *Incognito: Efficient Full-Domain K-Anonymity* (LeFevre, DeWitt,
+//! Ramakrishnan, SIGMOD 2005):
+//!
+//! * a [`Hierarchy`] is a totally-ordered chain of domains `D0 <D D1 <D ... <D Dh`
+//!   together with the many-to-one value generalization functions
+//!   `γ : Dℓ → Dℓ+1` between consecutive domains (Figure 2 of the paper);
+//! * [`builders`] construct hierarchies from taxonomy trees, digit rounding,
+//!   numeric ranges, and attribute suppression — the generalization styles
+//!   listed in Figure 9 of the paper;
+//! * values are dictionary-encoded: every value of domain `Dℓ` is a dense
+//!   `u32` id, and `γ` is a lookup table. Composed maps `γ⁺ : D0 → Dℓ` are
+//!   precomputed so generalizing a column is a single array gather.
+//!
+//! Hierarchies are immutable once built; algorithms share them by reference.
+//!
+//! # Example
+//!
+//! ```
+//! use incognito_hierarchy::builders;
+//!
+//! // The Zipcode hierarchy of Figure 2 (a, b): Z0 -> Z1 -> Z2.
+//! let zip = builders::round_digits(
+//!     "Zipcode",
+//!     &["53715", "53710", "53706", "53703"],
+//!     2, // generalize away the last 2 digits, one at a time
+//! ).unwrap();
+//! assert_eq!(zip.height(), 2);
+//! let id5371s = zip.generalize(zip.ground_id("53715").unwrap(), 1);
+//! assert_eq!(zip.label(1, id5371s), "5371*");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+mod error;
+mod hierarchy;
+
+pub use error::HierarchyError;
+pub use hierarchy::{Hierarchy, Level};
+
+/// A dictionary-encoded value id within one level of a hierarchy.
+pub type ValueId = u32;
+
+/// A generalization level. Level `0` is the ground (most specific) domain.
+pub type LevelNo = u8;

@@ -1,0 +1,131 @@
+//! Property tests for the hierarchy builders: whatever the input, a built
+//! hierarchy satisfies the structural laws the rest of the system assumes
+//! (γ⁺ composition, nesting, onto-ness, monotone level sizes).
+
+use proptest::prelude::*;
+
+use incognito_hierarchy::{builders, Hierarchy};
+
+/// Structural laws every hierarchy must satisfy.
+fn check_laws(h: &Hierarchy) {
+    // Level sizes shrink (weakly) going up; composition of γ equals γ⁺.
+    for l in 0..h.height() {
+        assert!(h.level_size(l + 1) <= h.level_size(l), "level sizes must not grow");
+        for g in 0..h.ground_size() as u32 {
+            assert_eq!(h.parent(l, h.generalize(g, l)), h.generalize(g, l + 1));
+        }
+        // γ is onto: every value above has a child.
+        for id in 0..h.level_size(l + 1) as u32 {
+            assert!(!h.children(l + 1, id).is_empty());
+        }
+    }
+    // between_map composes with map_to_level.
+    for from in 0..=h.height() {
+        for to in from..=h.height() {
+            let m = h.between_map(from, to).unwrap();
+            for g in 0..h.ground_size() as u32 {
+                assert_eq!(m[h.generalize(g, from) as usize], h.generalize(g, to));
+            }
+        }
+    }
+    // Subtree leaves partition the ground domain at every level.
+    for l in 0..=h.height() {
+        let mut covered = vec![false; h.ground_size()];
+        for id in 0..h.level_size(l) as u32 {
+            for leaf in h.subtree_leaves(l, id) {
+                assert!(!covered[leaf as usize], "leaf in two subtrees");
+                covered[leaf as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "subtrees must cover the domain");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ranges_builder_laws(
+        values in proptest::collection::btree_set(-500i64..500, 1..40),
+        base in 2i64..5,
+        depth in 1usize..4,
+        suppress in any::<bool>(),
+    ) {
+        let values: Vec<i64> = values.into_iter().collect();
+        let widths: Vec<i64> = (1..=depth as u32).map(|d| base.pow(d)).collect();
+        let h = builders::ranges("X", &values, &widths, suppress).unwrap();
+        prop_assert_eq!(h.ground_size(), values.len());
+        let expected_height = depth as u8 + u8::from(suppress);
+        prop_assert_eq!(h.height(), expected_height);
+        check_laws(&h);
+        // Ground dictionary is numerically sorted.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (i, v) in sorted.iter().enumerate() {
+            prop_assert_eq!(h.label(0, i as u32), &v.to_string());
+        }
+        // Interval labels nest: same level-1 bucket ⇒ same level-2 bucket.
+        if depth >= 2 {
+            for a in 0..values.len() as u32 {
+                for b in 0..values.len() as u32 {
+                    if h.generalize(a, 1) == h.generalize(b, 1) {
+                        prop_assert_eq!(h.generalize(a, 2), h.generalize(b, 2));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_digits_builder_laws(
+        codes in proptest::collection::btree_set(0u32..100_000, 1..60),
+        steps in 1usize..=5,
+    ) {
+        let labels: Vec<String> = codes.iter().map(|c| format!("{c:05}")).collect();
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let h = builders::round_digits("Zip", &refs, steps).unwrap();
+        prop_assert_eq!(h.height(), steps as u8);
+        check_laws(&h);
+        // The level-ℓ label of a value is its prefix plus ℓ stars.
+        for (i, label) in labels.iter().enumerate() {
+            for l in 1..=steps {
+                let expect = format!("{}{}", &label[..5 - l], "*".repeat(l));
+                prop_assert_eq!(h.label(l as u8, h.generalize(i as u32, l as u8)), &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn suppression_builder_laws(n in 1usize..50) {
+        let labels: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let h = builders::suppression("S", &refs).unwrap();
+        prop_assert_eq!(h.height(), 1);
+        prop_assert_eq!(h.level_size(1), 1);
+        check_laws(&h);
+    }
+
+    /// Random balanced taxonomy trees: build with the given shape, verify
+    /// ground size and laws.
+    #[test]
+    fn taxonomy_builder_laws(shape in proptest::collection::vec(1usize..4, 1..4)) {
+        // shape[d] = children per node at depth d; leaves at depth shape.len().
+        fn grow(shape: &[usize], depth: usize, counter: &mut u32) -> builders::TaxonomyNode {
+            if depth == shape.len() {
+                *counter += 1;
+                return builders::TaxonomyNode::leaf(format!("leaf-{counter}"));
+            }
+            let children = (0..shape[depth])
+                .map(|_| grow(shape, depth + 1, counter))
+                .collect();
+            *counter += 1;
+            builders::TaxonomyNode::node(format!("n{depth}-{counter}"), children)
+        }
+        let mut counter = 0;
+        let root = grow(&shape, 0, &mut counter);
+        let h = builders::taxonomy("T", root).unwrap();
+        prop_assert_eq!(h.height() as usize, shape.len());
+        prop_assert_eq!(h.ground_size(), shape.iter().product::<usize>());
+        check_laws(&h);
+    }
+}

@@ -1,0 +1,35 @@
+//! Multi-attribute generalization lattices and a-priori candidate graphs.
+//!
+//! Section 3 of the paper organizes the search for k-anonymous full-domain
+//! generalizations around *candidate generalization graphs*: at iteration
+//! `i`, the nodes `Cᵢ` are the multi-attribute generalizations of the
+//! `i`-attribute subsets of the quasi-identifier that could still be
+//! k-anonymous, and the edges `Eᵢ` are the direct multi-attribute
+//! generalization relationships among them (Figures 3, 5, 6, 7).
+//!
+//! This crate provides:
+//!
+//! * [`CandidateGraph`] — the relational nodes/edges representation of
+//!   Figure 6, with breadth-first-search helpers (roots, heights,
+//!   adjacency, families);
+//! * [`CandidateGraph::initial`] — `C₁`/`E₁` straight from the domain
+//!   generalization hierarchies;
+//! * [`generate_next`] — the a-priori **join**, **prune**, and
+//!   **edge-generation** phases of §3.1.2 that build `Cᵢ₊₁`/`Eᵢ₊₁` from the
+//!   surviving nodes `Sᵢ`;
+//! * [`CandidateGraph::full_lattice`] — the complete (un-pruned)
+//!   multi-attribute lattice over the full quasi-identifier, used by the
+//!   baseline algorithms (Samarati's binary search and bottom-up BFS);
+//! * [`hash_tree`] — the Apriori hash tree of Agrawal & Srikant used as the
+//!   prune phase's membership structure, plus a flat hash-set alternative
+//!   for the ablation benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidate;
+mod graph;
+pub mod hash_tree;
+
+pub use candidate::{generate_next, PruneStrategy};
+pub use graph::{CandidateGraph, NodeId, NodeSpec};

@@ -1,0 +1,148 @@
+//! Property tests for the a-priori candidate generation: over random
+//! schemas and random survivor patterns, the generated graphs satisfy the
+//! structural invariants the Incognito search depends on.
+
+use proptest::prelude::*;
+
+use incognito_hierarchy::builders;
+use incognito_lattice::{candidate, generate_next, CandidateGraph, PruneStrategy};
+use incognito_table::{Attribute, Schema};
+use std::sync::Arc;
+
+/// Random 3-attribute schema with hierarchy heights 1–3.
+fn arb_schema() -> impl Strategy<Value = Arc<Schema>> {
+    proptest::collection::vec(1u8..=3, 3).prop_map(|heights| {
+        let attrs = heights
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| {
+                let name = ["A", "B", "C"][i];
+                // Fixed-width codes of length h rounded digit by digit give
+                // a chain of exactly height h.
+                let width = h as usize;
+                let values: Vec<String> =
+                    (0..4u32).map(|v| format!("{v:0width$}")).collect();
+                let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+                Attribute::new(name, builders::round_digits(name, &refs, width).unwrap())
+            })
+            .collect();
+        Schema::new(attrs).unwrap()
+    })
+}
+
+fn subsets_of(parts: &[(usize, u8)]) -> Vec<Vec<(usize, u8)>> {
+    (0..parts.len())
+        .map(|drop| {
+            parts
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != drop)
+                .map(|(_, &x)| x)
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Iterating C1 → C2 → C3 under a random aliveness pattern yields
+    /// graphs whose edges are strict generalization relations with no
+    /// two-step-implied edges, and whose nodes pass the prune criterion
+    /// exactly (soundness and completeness of join+prune).
+    #[test]
+    fn candidate_graphs_satisfy_invariants(
+        schema in arb_schema(),
+        seed in proptest::collection::vec(any::<bool>(), 64),
+    ) {
+        let c1 = CandidateGraph::initial(&schema, &[0, 1, 2]);
+        let alive1 = vec![true; c1.num_nodes()];
+        let c2 = generate_next(&c1, &alive1, PruneStrategy::HashTree);
+
+        // Random survivor pattern over C2, but keep at least the all-zero
+        // nodes alive so C3 is non-trivial sometimes.
+        let alive2: Vec<bool> = (0..c2.num_nodes())
+            .map(|i| c2.node(i as u32).height() == 0 || seed[i % seed.len()])
+            .collect();
+        let c3 = generate_next(&c2, &alive2, PruneStrategy::HashTree);
+
+        // Survivor spec set of C2.
+        let s2: std::collections::HashSet<Vec<(usize, u8)>> = (0..c2.num_nodes())
+            .filter(|&i| alive2[i])
+            .map(|i| c2.node(i as u32).parts.clone())
+            .collect();
+
+        // (a) prune soundness: every C3 node's 2-subsets are in S2.
+        for n in c3.nodes() {
+            for sub in subsets_of(&n.parts) {
+                prop_assert!(s2.contains(&sub), "unpruned candidate {:?}", n.parts);
+            }
+        }
+
+        // (b) prune completeness: every 3-spec whose 2-subsets are all in
+        // S2 appears in C3.
+        let full = CandidateGraph::full_lattice(&schema, &[0, 1, 2]);
+        for node in full.nodes() {
+            let qualifies = subsets_of(&node.parts).iter().all(|s| s2.contains(s));
+            let present = c3.find(&node.parts).is_some();
+            prop_assert_eq!(qualifies, present, "spec {:?}", node.parts);
+        }
+
+        // (c) edges are strict generalizations, deduplicated, and not
+        // implied by a two-edge path.
+        for graph in [&c2, &c3] {
+            let edge_set: std::collections::HashSet<(u32, u32)> =
+                graph.edges().iter().copied().collect();
+            prop_assert_eq!(edge_set.len(), graph.num_edges(), "duplicate edges");
+            for &(s, e) in graph.edges() {
+                prop_assert!(graph.node(s).is_generalized_by(graph.node(e)));
+                for &m in graph.direct_generalizations(s) {
+                    if m != e {
+                        prop_assert!(
+                            !edge_set.contains(&(m, e)),
+                            "edge ({s},{e}) implied via {m}"
+                        );
+                    }
+                }
+            }
+        }
+
+        // (d) prune strategies agree.
+        let via_set = generate_next(&c2, &alive2, PruneStrategy::HashSet);
+        prop_assert_eq!(c3.nodes(), via_set.nodes());
+        prop_assert_eq!(c3.edges(), via_set.edges());
+    }
+
+    /// With everything alive, generated edges equal the cover relation of
+    /// the candidate set (the lattice case, where the paper's relational
+    /// edge construction is exact).
+    #[test]
+    fn full_survivor_edges_equal_cover(schema in arb_schema()) {
+        let c1 = CandidateGraph::initial(&schema, &[0, 1, 2]);
+        let mut graph = c1;
+        for _ in 0..2 {
+            let alive = vec![true; graph.num_nodes()];
+            graph = generate_next(&graph, &alive, PruneStrategy::HashTree);
+            prop_assert_eq!(graph.edges(), &candidate::edges_by_cover(graph.nodes())[..]);
+        }
+    }
+
+    /// BFS reachability: every non-root node of a generated graph is
+    /// reachable from the roots (the search visits or marks every node).
+    #[test]
+    fn roots_reach_everything(schema in arb_schema(), seed in proptest::collection::vec(any::<bool>(), 64)) {
+        let c1 = CandidateGraph::initial(&schema, &[0, 1, 2]);
+        let c2 = generate_next(&c1, &vec![true; c1.num_nodes()], PruneStrategy::HashTree);
+        let alive2: Vec<bool> = (0..c2.num_nodes()).map(|i| seed[i % seed.len()]).collect();
+        let c3 = generate_next(&c2, &alive2, PruneStrategy::HashTree);
+        let mut seen = vec![false; c3.num_nodes()];
+        let mut stack = c3.roots();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n as usize], true) {
+                continue;
+            }
+            stack.extend_from_slice(c3.direct_generalizations(n));
+        }
+        prop_assert!(seen.iter().all(|&s| s), "unreachable candidate node");
+    }
+}

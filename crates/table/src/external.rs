@@ -1,0 +1,337 @@
+//! Out-of-core frequency sets — the paper's §7 scalability future work:
+//! *"It is also important to perform a more extensive evaluation of the
+//! scalability of Incognito and previous algorithms in the case where the
+//! original database or the intermediate frequency tables do not fit in
+//! main memory."*
+//!
+//! [`ExternalFrequencySet`] computes a frequency set with bounded memory:
+//! the scan hash-partitions group keys to disk (Grace-hash style), and
+//! every query — the k-anonymity predicate, group counts, suppression
+//! tallies — streams one partition at a time, so peak memory is the
+//! largest partition's distinct-group footprint rather than the whole
+//! frequency set. `into_frequency_set` upgrades to the in-memory
+//! representation when it does fit.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use incognito_hierarchy::ValueId;
+
+use crate::freq::{GroupKey, GroupSpec};
+use crate::fxhash::{FxBuildHasher, FxHashMap};
+use crate::table::Table;
+use crate::{FrequencySet, TableError};
+
+/// Errors specific to the spilling pipeline.
+#[derive(Debug)]
+pub enum ExternalError {
+    /// Underlying table/spec failure.
+    Table(TableError),
+    /// Spill-file IO failure.
+    Io(std::io::Error),
+    /// A spill file was truncated or corrupted.
+    Corrupt {
+        /// The offending partition file.
+        partition: PathBuf,
+    },
+}
+
+impl std::fmt::Display for ExternalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExternalError::Table(e) => write!(f, "table error: {e}"),
+            ExternalError::Io(e) => write!(f, "spill io error: {e}"),
+            ExternalError::Corrupt { partition } => {
+                write!(f, "corrupt spill partition {}", partition.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExternalError {}
+
+impl From<TableError> for ExternalError {
+    fn from(e: TableError) -> Self {
+        ExternalError::Table(e)
+    }
+}
+
+impl From<std::io::Error> for ExternalError {
+    fn from(e: std::io::Error) -> Self {
+        ExternalError::Io(e)
+    }
+}
+
+/// A frequency set whose groups live in disk partitions.
+pub struct ExternalFrequencySet {
+    spec: GroupSpec,
+    partitions: Vec<PathBuf>,
+    arity: usize,
+    total: u64,
+    /// Owned spill directory, removed on drop.
+    dir: PathBuf,
+}
+
+impl ExternalFrequencySet {
+    /// Compute the frequency set of `table` w.r.t. `spec`, spilling keys
+    /// into `num_partitions` files under a fresh subdirectory of
+    /// `spill_root`.
+    pub fn build(
+        table: &Table,
+        spec: &GroupSpec,
+        num_partitions: usize,
+        spill_root: &Path,
+    ) -> Result<ExternalFrequencySet, ExternalError> {
+        spec.validate(table.schema())?;
+        let num_partitions = num_partitions.clamp(1, 4096);
+        let dir = spill_root.join(format!(
+            "incognito-spill-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        std::fs::create_dir_all(&dir)?;
+
+        let schema = table.schema();
+        let maps: Vec<&[ValueId]> = spec
+            .parts()
+            .iter()
+            .map(|&(a, l)| schema.hierarchy(a).map_to_level(l))
+            .collect();
+        let cols: Vec<&[ValueId]> = spec.parts().iter().map(|&(a, _)| table.column(a)).collect();
+        let arity = spec.len();
+
+        let partitions: Vec<PathBuf> =
+            (0..num_partitions).map(|p| dir.join(format!("part-{p}.bin"))).collect();
+        let mut writers: Vec<BufWriter<File>> = partitions
+            .iter()
+            .map(|p| {
+                OpenOptions::new()
+                    .create(true)
+                    .truncate(true)
+                    .write(true)
+                    .open(p)
+                    .map(BufWriter::new)
+            })
+            .collect::<Result<_, _>>()?;
+
+        use std::hash::BuildHasher;
+        let hasher = FxBuildHasher::default();
+        let nrows = table.num_rows();
+        let mut buf = Vec::with_capacity(arity * 4);
+        for row in 0..nrows {
+            let mut key = GroupKey::default();
+            for (col, map) in cols.iter().zip(&maps) {
+                key.push(map[col[row] as usize]);
+            }
+            let part = (hasher.hash_one(key) % num_partitions as u64) as usize;
+            buf.clear();
+            for &v in key.as_slice() {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            writers[part].write_all(&buf)?;
+        }
+        for mut w in writers {
+            w.flush()?;
+        }
+        Ok(ExternalFrequencySet {
+            spec: spec.clone(),
+            partitions,
+            arity,
+            total: nrows as u64,
+            dir,
+        })
+    }
+
+    /// The grouping spec.
+    pub fn spec(&self) -> &GroupSpec {
+        &self.spec
+    }
+
+    /// Total tuples scanned.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of spill partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Aggregate one partition into an in-memory map (the memory high-water
+    /// mark of every streaming query).
+    fn aggregate_partition(&self, idx: usize) -> Result<FxHashMap<GroupKey, u64>, ExternalError> {
+        let path = &self.partitions[idx];
+        let mut reader = BufReader::new(File::open(path)?);
+        let record = self.arity * 4;
+        let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
+        let mut buf = vec![0u8; record.max(1)];
+        loop {
+            match reader.read_exact(&mut buf) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e.into()),
+            }
+            let mut key = GroupKey::default();
+            for c in buf.chunks_exact(4) {
+                key.push(u32::from_le_bytes(c.try_into().expect("4-byte chunk")));
+            }
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        // Every record is whole by construction; a trailing fragment means
+        // corruption.
+        let len = std::fs::metadata(path)?.len();
+        if record > 0 && len % record as u64 != 0 {
+            return Err(ExternalError::Corrupt { partition: path.clone() });
+        }
+        Ok(counts)
+    }
+
+    /// Fold every partition's aggregated counts through `f`, streaming.
+    fn fold_groups<T>(
+        &self,
+        mut acc: T,
+        mut f: impl FnMut(T, &GroupKey, u64) -> T,
+    ) -> Result<T, ExternalError> {
+        for idx in 0..self.partitions.len() {
+            let counts = self.aggregate_partition(idx)?;
+            for (k, c) in &counts {
+                acc = f(acc, k, *c);
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Number of distinct groups (streamed).
+    pub fn num_groups(&self) -> Result<usize, ExternalError> {
+        self.fold_groups(0usize, |acc, _, _| acc + 1)
+    }
+
+    /// Smallest group count (streamed); `None` for an empty table.
+    pub fn min_count(&self) -> Result<Option<u64>, ExternalError> {
+        self.fold_groups(None, |acc: Option<u64>, _, c| {
+            Some(acc.map_or(c, |m| m.min(c)))
+        })
+    }
+
+    /// K-Anonymity Property, streamed partition by partition.
+    pub fn is_k_anonymous(&self, k: u64) -> Result<bool, ExternalError> {
+        for idx in 0..self.partitions.len() {
+            if self.aggregate_partition(idx)?.values().any(|&c| c < k) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Tuples in groups smaller than k (the §2.1 suppression tally).
+    pub fn tuples_below(&self, k: u64) -> Result<u64, ExternalError> {
+        self.fold_groups(0u64, |acc, _, c| if c < k { acc + c } else { acc })
+    }
+
+    /// Upgrade to the in-memory representation (requires the whole set to
+    /// fit, of course).
+    pub fn into_frequency_set(self) -> Result<FrequencySet, ExternalError> {
+        let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
+        for idx in 0..self.partitions.len() {
+            for (k, c) in self.aggregate_partition(idx)? {
+                *counts.entry(k).or_insert(0) += c;
+            }
+        }
+        Ok(FrequencySet::from_parts(self.spec.clone(), counts, self.total))
+    }
+}
+
+impl Drop for ExternalFrequencySet {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use incognito_hierarchy::builders;
+
+    fn big_table(rows: u32) -> Table {
+        let schema = Schema::new(vec![
+            Attribute::new("a", builders::suppression("a", &["0", "1", "2", "3", "4"]).unwrap()),
+            Attribute::new(
+                "b",
+                builders::round_digits("b", &["00", "01", "10", "11", "20", "21"], 2).unwrap(),
+            ),
+        ])
+        .unwrap();
+        let mut cols = vec![Vec::new(), Vec::new()];
+        for i in 0..rows {
+            cols[0].push(i % 5);
+            cols[1].push((i * 7) % 6);
+        }
+        Table::from_columns(schema, cols).unwrap()
+    }
+
+    fn spill_root() -> PathBuf {
+        std::env::temp_dir()
+    }
+
+    #[test]
+    fn external_matches_in_memory() {
+        let t = big_table(10_000);
+        for spec in [
+            GroupSpec::ground(&[0, 1]).unwrap(),
+            GroupSpec::new(vec![(1, 1)]).unwrap(),
+        ] {
+            let mem = t.frequency_set(&spec).unwrap();
+            let ext = ExternalFrequencySet::build(&t, &spec, 7, &spill_root()).unwrap();
+            assert_eq!(ext.total(), mem.total());
+            assert_eq!(ext.num_groups().unwrap(), mem.num_groups());
+            assert_eq!(ext.min_count().unwrap(), mem.min_count());
+            for k in [1u64, 100, 500, 5_000] {
+                assert_eq!(ext.is_k_anonymous(k).unwrap(), mem.is_k_anonymous(k), "k={k}");
+                assert_eq!(ext.tuples_below(k).unwrap(), mem.tuples_below(k), "k={k}");
+            }
+            let upgraded = ext.into_frequency_set().unwrap();
+            assert_eq!(
+                upgraded.to_labeled_rows(t.schema()),
+                mem.to_labeled_rows(t.schema())
+            );
+        }
+    }
+
+    #[test]
+    fn single_partition_and_many_partitions_agree() {
+        let t = big_table(3_000);
+        let spec = GroupSpec::ground(&[0, 1]).unwrap();
+        let one = ExternalFrequencySet::build(&t, &spec, 1, &spill_root()).unwrap();
+        let many = ExternalFrequencySet::build(&t, &spec, 64, &spill_root()).unwrap();
+        assert_eq!(one.num_groups().unwrap(), many.num_groups().unwrap());
+        assert_eq!(one.tuples_below(200).unwrap(), many.tuples_below(200).unwrap());
+    }
+
+    #[test]
+    fn empty_table_streams_cleanly() {
+        let t = big_table(0);
+        let spec = GroupSpec::ground(&[0]).unwrap();
+        let ext = ExternalFrequencySet::build(&t, &spec, 4, &spill_root()).unwrap();
+        assert_eq!(ext.num_groups().unwrap(), 0);
+        assert_eq!(ext.min_count().unwrap(), None);
+        assert!(ext.is_k_anonymous(5).unwrap());
+    }
+
+    #[test]
+    fn spill_directory_is_cleaned_up() {
+        let t = big_table(100);
+        let spec = GroupSpec::ground(&[0]).unwrap();
+        let dir;
+        {
+            let ext = ExternalFrequencySet::build(&t, &spec, 2, &spill_root()).unwrap();
+            dir = ext.dir.clone();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "drop must remove the spill directory");
+    }
+}

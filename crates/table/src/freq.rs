@@ -1,0 +1,576 @@
+//! Frequency sets and the Rollup / Subset properties.
+//!
+//! A frequency set (§1.1 of the paper) maps each distinct combination of
+//! quasi-identifier values to its tuple count — the result of
+//! `SELECT COUNT(*) ... GROUP BY Q1, ..., Qn`. The Incognito algorithms
+//! manipulate frequency sets three ways:
+//!
+//! * [`FrequencySet::scan`] computes one from the base table (a table scan);
+//! * [`FrequencySet::rollup`] generalizes one to higher levels by summing
+//!   counts along the dimension hierarchies (the **Rollup Property**, §3);
+//! * [`FrequencySet::project`] drops attributes and re-sums (used by Cube
+//!   Incognito's zero-generalization pre-computation, §3.3.2; its soundness
+//!   is the **Subset Property**).
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use incognito_hierarchy::{LevelNo, ValueId};
+
+use crate::fxhash::FxHashMap;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::TableError;
+
+/// Maximum number of attributes in one group key. The paper's largest
+/// quasi-identifier has 9 attributes; 16 leaves headroom while keeping keys
+/// inline (no heap allocation per group).
+pub const MAX_KEY_ATTRS: usize = 16;
+
+/// A grouping specification: which attributes to group by, and at which
+/// generalization level each is taken. This identifies one node of a
+/// multi-attribute generalization graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroupSpec {
+    /// `(attribute index, level)` pairs, in key-component order.
+    parts: Vec<(usize, LevelNo)>,
+}
+
+impl GroupSpec {
+    /// Create a spec from `(attribute, level)` pairs. Attributes must be
+    /// distinct and there may be at most [`MAX_KEY_ATTRS`] of them.
+    pub fn new(parts: Vec<(usize, LevelNo)>) -> Result<Self, TableError> {
+        if parts.len() > MAX_KEY_ATTRS {
+            return Err(TableError::KeyTooWide(parts.len()));
+        }
+        for (i, &(a, _)) in parts.iter().enumerate() {
+            if parts[..i].iter().any(|&(b, _)| a == b) {
+                return Err(TableError::IncompatibleSpec(format!(
+                    "attribute {a} appears twice in group spec"
+                )));
+            }
+        }
+        Ok(GroupSpec { parts })
+    }
+
+    /// Spec over `attrs`, all at ground level.
+    pub fn ground(attrs: &[usize]) -> Result<Self, TableError> {
+        Self::new(attrs.iter().map(|&a| (a, 0)).collect())
+    }
+
+    /// The `(attribute, level)` parts in key order.
+    pub fn parts(&self) -> &[(usize, LevelNo)] {
+        &self.parts
+    }
+
+    /// Number of grouped attributes.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True if no attributes are grouped.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Check attribute indices and levels against `schema`.
+    pub fn validate(&self, schema: &Schema) -> Result<(), TableError> {
+        for &(a, l) in &self.parts {
+            if a >= schema.arity() {
+                return Err(TableError::AttributeOutOfRange { index: a, arity: schema.arity() });
+            }
+            let h = schema.hierarchy(a);
+            if l > h.height() {
+                return Err(TableError::LevelOutOfRange {
+                    attribute: schema.attribute(a).name().to_string(),
+                    level: l,
+                    height: h.height(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An inline tuple of generalized value ids — one group of a frequency set.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupKey {
+    len: u8,
+    vals: [ValueId; MAX_KEY_ATTRS],
+}
+
+impl Default for GroupKey {
+    fn default() -> Self {
+        GroupKey { len: 0, vals: [0; MAX_KEY_ATTRS] }
+    }
+}
+
+impl GroupKey {
+    /// Build a key from a slice of at most [`MAX_KEY_ATTRS`] ids.
+    pub fn from_slice(ids: &[ValueId]) -> Self {
+        assert!(ids.len() <= MAX_KEY_ATTRS, "group key too wide");
+        let mut k = GroupKey::default();
+        k.vals[..ids.len()].copy_from_slice(ids);
+        k.len = ids.len() as u8;
+        k
+    }
+
+    /// Append one component.
+    ///
+    /// # Panics
+    /// Panics if the key is already [`MAX_KEY_ATTRS`] wide.
+    #[inline]
+    pub fn push(&mut self, id: ValueId) {
+        self.vals[self.len as usize] = id;
+        self.len += 1;
+    }
+
+    /// The key's components.
+    #[inline]
+    pub fn as_slice(&self) -> &[ValueId] {
+        &self.vals[..self.len as usize]
+    }
+}
+
+impl PartialEq for GroupKey {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for GroupKey {}
+
+impl Hash for GroupKey {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash length + components as u64 words; cheaper than byte-slicing.
+        state.write_u8(self.len);
+        for &v in self.as_slice() {
+            state.write_u32(v);
+        }
+    }
+}
+
+/// The frequency set of a table with respect to a [`GroupSpec`].
+#[derive(Debug, Clone)]
+pub struct FrequencySet {
+    spec: GroupSpec,
+    counts: FxHashMap<GroupKey, u64>,
+    total: u64,
+}
+
+impl FrequencySet {
+    /// Compute by scanning `table` (the spec must already be validated).
+    pub(crate) fn scan(table: &Table, spec: &GroupSpec) -> FrequencySet {
+        let schema = table.schema();
+        let maps: Vec<&[ValueId]> = spec
+            .parts
+            .iter()
+            .map(|&(a, l)| schema.hierarchy(a).map_to_level(l))
+            .collect();
+        let cols: Vec<&[ValueId]> = spec.parts.iter().map(|&(a, _)| table.column(a)).collect();
+        let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
+        let nrows = table.num_rows();
+        for row in 0..nrows {
+            let mut key = GroupKey::default();
+            for (col, map) in cols.iter().zip(&maps) {
+                key.push(map[col[row] as usize]);
+            }
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        FrequencySet { spec: spec.clone(), counts, total: nrows as u64 }
+    }
+
+    /// Compute by scanning `table` with `threads` worker threads: rows are
+    /// sharded, each worker builds a local frequency map, and the shards
+    /// are merged. Exactly equivalent to [`FrequencySet::scan`] (counts are
+    /// associative); worthwhile once the table is large enough that the
+    /// scan dominates the merge (hundreds of thousands of rows).
+    pub(crate) fn scan_parallel(table: &Table, spec: &GroupSpec, threads: usize) -> FrequencySet {
+        let nrows = table.num_rows();
+        let threads = threads.clamp(1, nrows.max(1));
+        if threads == 1 || nrows < 2 * threads {
+            return FrequencySet::scan(table, spec);
+        }
+        let schema = table.schema();
+        let maps: Vec<&[ValueId]> = spec
+            .parts
+            .iter()
+            .map(|&(a, l)| schema.hierarchy(a).map_to_level(l))
+            .collect();
+        let cols: Vec<&[ValueId]> = spec.parts.iter().map(|&(a, _)| table.column(a)).collect();
+
+        let chunk = nrows.div_ceil(threads);
+        let mut shards: Vec<FxHashMap<GroupKey, u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let maps = &maps;
+                    let cols = &cols;
+                    scope.spawn(move || {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(nrows);
+                        let mut local: FxHashMap<GroupKey, u64> = FxHashMap::default();
+                        for row in lo..hi {
+                            let mut key = GroupKey::default();
+                            for (col, map) in cols.iter().zip(maps.iter()) {
+                                key.push(map[col[row] as usize]);
+                            }
+                            *local.entry(key).or_insert(0) += 1;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+        });
+
+        // Merge into the largest shard to minimize rehashing.
+        let biggest = shards
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, m)| m.len())
+            .map(|(i, _)| i)
+            .expect("at least one shard");
+        let mut counts = shards.swap_remove(biggest);
+        for shard in shards {
+            for (k, c) in shard {
+                *counts.entry(k).or_insert(0) += c;
+            }
+        }
+        FrequencySet { spec: spec.clone(), counts, total: nrows as u64 }
+    }
+
+    /// Assemble a frequency set from raw parts (used by the out-of-core
+    /// pipeline when upgrading to the in-memory representation).
+    pub(crate) fn from_parts(
+        spec: GroupSpec,
+        counts: FxHashMap<GroupKey, u64>,
+        total: u64,
+    ) -> FrequencySet {
+        FrequencySet { spec, counts, total }
+    }
+
+    /// The grouping spec this frequency set was computed under.
+    pub fn spec(&self) -> &GroupSpec {
+        &self.spec
+    }
+
+    /// Number of distinct value groups.
+    pub fn num_groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total tuple count (size of the underlying multiset).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for `key` (0 if absent).
+    pub fn count(&self, key: &GroupKey) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Smallest group count, or `None` for an empty table.
+    pub fn min_count(&self) -> Option<u64> {
+        self.counts.values().copied().min()
+    }
+
+    /// Iterate `(key, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&GroupKey, u64)> + '_ {
+        self.counts.iter().map(|(k, &c)| (k, c))
+    }
+
+    /// K-Anonymity Property (§1.1): every count ≥ k. Vacuously true for an
+    /// empty relation.
+    pub fn is_k_anonymous(&self, k: u64) -> bool {
+        self.counts.values().all(|&c| c >= k)
+    }
+
+    /// Total number of tuples lying in groups smaller than `k` — the tuples
+    /// that would have to be suppressed to make the relation k-anonymous.
+    pub fn tuples_below(&self, k: u64) -> u64 {
+        self.counts.values().filter(|&&c| c < k).sum()
+    }
+
+    /// K-anonymity with the tuple-suppression extension of §2.1: the
+    /// relation passes if at most `max_suppress` outlier tuples (those in
+    /// groups of size < k) would need to be removed.
+    pub fn is_k_anonymous_with_suppression(&self, k: u64, max_suppress: u64) -> bool {
+        self.tuples_below(k) <= max_suppress
+    }
+
+    /// **Rollup Property** (§3): produce the frequency set at higher levels
+    /// `target` (one level per spec part, each ≥ the current level) by
+    /// mapping each group through γ and summing counts — no table scan.
+    pub fn rollup(&self, schema: &Schema, target: &[LevelNo]) -> Result<FrequencySet, TableError> {
+        if target.len() != self.spec.len() {
+            return Err(TableError::IncompatibleSpec(format!(
+                "rollup target has {} levels, spec has {}",
+                target.len(),
+                self.spec.len()
+            )));
+        }
+        let mut maps: Vec<Vec<ValueId>> = Vec::with_capacity(target.len());
+        for (&(a, from), &to) in self.spec.parts.iter().zip(target) {
+            let h = schema.hierarchy(a);
+            if to < from {
+                return Err(TableError::IncompatibleSpec(format!(
+                    "cannot roll attribute {a} down from level {from} to {to}"
+                )));
+            }
+            let m = h.between_map(from, to).map_err(|_| TableError::LevelOutOfRange {
+                attribute: schema.attribute(a).name().to_string(),
+                level: to,
+                height: h.height(),
+            })?;
+            maps.push(m);
+        }
+        let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
+        for (key, &c) in &self.counts {
+            let mut out = GroupKey::default();
+            for (&v, map) in key.as_slice().iter().zip(&maps) {
+                out.push(map[v as usize]);
+            }
+            *counts.entry(out).or_insert(0) += c;
+        }
+        let spec = GroupSpec::new(
+            self.spec
+                .parts
+                .iter()
+                .zip(target)
+                .map(|(&(a, _), &l)| (a, l))
+                .collect(),
+        )?;
+        Ok(FrequencySet { spec, counts, total: self.total })
+    }
+
+    /// **Subset Property** (§3): project onto the spec positions in `keep`
+    /// (strictly increasing), dropping the other attributes and re-summing.
+    /// Used by Cube Incognito to derive subset frequency sets from wider
+    /// ones, data-cube style.
+    pub fn project(&self, keep: &[usize]) -> Result<FrequencySet, TableError> {
+        let mut prev: Option<usize> = None;
+        for &p in keep {
+            if p >= self.spec.len() || prev.is_some_and(|q| q >= p) {
+                return Err(TableError::IncompatibleSpec(format!(
+                    "projection positions must be strictly increasing and < {}",
+                    self.spec.len()
+                )));
+            }
+            prev = Some(p);
+        }
+        let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
+        for (key, &c) in &self.counts {
+            let slice = key.as_slice();
+            let mut out = GroupKey::default();
+            for &p in keep {
+                out.push(slice[p]);
+            }
+            *counts.entry(out).or_insert(0) += c;
+        }
+        let spec = GroupSpec::new(keep.iter().map(|&p| self.spec.parts[p]).collect())?;
+        Ok(FrequencySet { spec, counts, total: self.total })
+    }
+
+    /// Render the groups as label tuples (for display and tests), sorted
+    /// lexicographically for determinism.
+    pub fn to_labeled_rows(&self, schema: &Arc<Schema>) -> Vec<(Vec<String>, u64)> {
+        let mut rows: Vec<(Vec<String>, u64)> = self
+            .counts
+            .iter()
+            .map(|(key, &c)| {
+                let labels = key
+                    .as_slice()
+                    .iter()
+                    .zip(&self.spec.parts)
+                    .map(|(&v, &(a, l))| schema.hierarchy(a).label(l, v).to_string())
+                    .collect();
+                (labels, c)
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use incognito_hierarchy::builders;
+
+    fn patients() -> Table {
+        // Figure 1's Patients table over ⟨Birthdate, Sex, Zipcode⟩.
+        let schema = Schema::new(vec![
+            Attribute::new(
+                "Birthdate",
+                builders::suppression("Birthdate", &["1/21/76", "4/13/86", "2/28/76"]).unwrap(),
+            ),
+            Attribute::new("Sex", builders::suppression("Sex", &["Male", "Female"]).unwrap()),
+            Attribute::new(
+                "Zipcode",
+                builders::round_digits("Zipcode", &["53715", "53710", "53706", "53703"], 2)
+                    .unwrap(),
+            ),
+        ])
+        .unwrap();
+        let mut t = Table::empty(schema);
+        for row in [
+            ["1/21/76", "Male", "53715"],
+            ["4/13/86", "Female", "53715"],
+            ["2/28/76", "Male", "53703"],
+            ["1/21/76", "Male", "53703"],
+            ["4/13/86", "Female", "53706"],
+            ["2/28/76", "Female", "53706"],
+        ] {
+            t.push_row(&row).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(GroupSpec::new(vec![(0, 0), (0, 1)]).is_err()); // dup attr
+        assert!(GroupSpec::new((0..17).map(|a| (a, 0)).collect()).is_err()); // too wide
+        let t = patients();
+        let bad_attr = GroupSpec::new(vec![(7, 0)]).unwrap();
+        assert!(bad_attr.validate(t.schema()).is_err());
+        let bad_level = GroupSpec::new(vec![(1, 3)]).unwrap();
+        assert!(bad_level.validate(t.schema()).is_err());
+    }
+
+    #[test]
+    fn group_key_semantics() {
+        let a = GroupKey::from_slice(&[1, 2, 3]);
+        let b = GroupKey::from_slice(&[1, 2, 3]);
+        let c = GroupKey::from_slice(&[1, 2]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_slice(), &[1, 2, 3]);
+        let mut d = GroupKey::default();
+        d.push(1);
+        d.push(2);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn scan_counts_match_sql_example() {
+        // §1.1: GROUP BY Sex, Zipcode on Patients has groups with count < 2.
+        let t = patients();
+        let f = t.frequency_set(&GroupSpec::ground(&[1, 2]).unwrap()).unwrap();
+        assert_eq!(f.total(), 6);
+        assert_eq!(f.num_groups(), 4); // (M,53715) (F,53715) (M,53703) (F,53706)
+        assert_eq!(f.min_count(), Some(1));
+        assert!(!f.is_k_anonymous(2));
+        assert_eq!(f.tuples_below(2), 2);
+        assert!(f.is_k_anonymous_with_suppression(2, 2));
+        assert!(!f.is_k_anonymous_with_suppression(2, 1));
+    }
+
+    #[test]
+    fn parallel_scan_equals_serial() {
+        // Build a larger table by repeating the Patients rows with varying
+        // combinations so shard boundaries fall mid-group.
+        let base = patients();
+        let schema = base.schema().clone();
+        let mut cols: Vec<Vec<u32>> = vec![Vec::new(); schema.arity()];
+        for i in 0..1_000u32 {
+            cols[0].push(i % 3);
+            cols[1].push(i % 2);
+            cols[2].push((i * 7) % 4);
+        }
+        let t = Table::from_columns(schema.clone(), cols).unwrap();
+        for spec in [
+            GroupSpec::ground(&[0, 1, 2]).unwrap(),
+            GroupSpec::new(vec![(1, 1), (2, 1)]).unwrap(),
+        ] {
+            let serial = t.frequency_set(&spec).unwrap();
+            for threads in [1usize, 2, 3, 8, 1000, 5000] {
+                let par = t.frequency_set_parallel(&spec, threads).unwrap();
+                assert_eq!(
+                    par.to_labeled_rows(&schema),
+                    serial.to_labeled_rows(&schema),
+                    "threads={threads}"
+                );
+                assert_eq!(par.total(), serial.total());
+            }
+        }
+        // Degenerate inputs.
+        let empty = Table::empty(schema);
+        let f = empty
+            .frequency_set_parallel(&GroupSpec::ground(&[0]).unwrap(), 4)
+            .unwrap();
+        assert_eq!(f.num_groups(), 0);
+    }
+
+    #[test]
+    fn rollup_equals_rescan() {
+        let t = patients();
+        let schema = t.schema().clone();
+        let ground = t.frequency_set(&GroupSpec::ground(&[1, 2]).unwrap()).unwrap();
+        // Roll up Zipcode to Z1, then compare against a fresh scan at (S0, Z1).
+        let rolled = ground.rollup(&schema, &[0, 1]).unwrap();
+        let scanned = t
+            .frequency_set(&GroupSpec::new(vec![(1, 0), (2, 1)]).unwrap())
+            .unwrap();
+        assert_eq!(rolled.to_labeled_rows(&schema), scanned.to_labeled_rows(&schema));
+        // Example 3.1: Patients IS 2-anonymous w.r.t. ⟨S1, Z0⟩ ...
+        let s1z0 = ground.rollup(&schema, &[1, 0]).unwrap();
+        assert!(s1z0.is_k_anonymous(2));
+        // ... and not w.r.t. ⟨S0, Z1⟩, but IS w.r.t. ⟨S0, Z2⟩.
+        let s0z1 = ground.rollup(&schema, &[0, 1]).unwrap();
+        assert!(!s0z1.is_k_anonymous(2));
+        let s0z2 = ground.rollup(&schema, &[0, 2]).unwrap();
+        assert!(s0z2.is_k_anonymous(2));
+    }
+
+    #[test]
+    fn rollup_is_transitive() {
+        let t = patients();
+        let schema = t.schema().clone();
+        let ground = t.frequency_set(&GroupSpec::ground(&[1, 2]).unwrap()).unwrap();
+        let via_mid = ground.rollup(&schema, &[0, 1]).unwrap().rollup(&schema, &[1, 2]).unwrap();
+        let direct = ground.rollup(&schema, &[1, 2]).unwrap();
+        assert_eq!(via_mid.to_labeled_rows(&schema), direct.to_labeled_rows(&schema));
+        assert_eq!(via_mid.total(), 6);
+    }
+
+    #[test]
+    fn rollup_rejects_bad_targets() {
+        let t = patients();
+        let schema = t.schema().clone();
+        let f = t.frequency_set(&GroupSpec::new(vec![(1, 1), (2, 1)]).unwrap()).unwrap();
+        assert!(f.rollup(&schema, &[0, 1]).is_err()); // downward
+        assert!(f.rollup(&schema, &[1]).is_err()); // wrong arity
+        assert!(f.rollup(&schema, &[1, 9]).is_err()); // above height
+    }
+
+    #[test]
+    fn project_equals_narrow_scan() {
+        let t = patients();
+        let schema = t.schema().clone();
+        let wide = t.frequency_set(&GroupSpec::ground(&[0, 1, 2]).unwrap()).unwrap();
+        let proj = wide.project(&[1]).unwrap();
+        let scan = t.frequency_set(&GroupSpec::ground(&[1]).unwrap()).unwrap();
+        assert_eq!(proj.to_labeled_rows(&schema), scan.to_labeled_rows(&schema));
+        assert_eq!(proj.total(), 6);
+        // Subset Property direction: ⟨Sex⟩ is 3-anonymous here even though
+        // the full QI is not.
+        assert!(proj.is_k_anonymous(3));
+        assert!(!wide.is_k_anonymous(2));
+    }
+
+    #[test]
+    fn project_validates_positions() {
+        let t = patients();
+        let wide = t.frequency_set(&GroupSpec::ground(&[0, 1, 2]).unwrap()).unwrap();
+        assert!(wide.project(&[1, 1]).is_err());
+        assert!(wide.project(&[2, 1]).is_err());
+        assert!(wide.project(&[3]).is_err());
+        assert!(wide.project(&[]).is_ok()); // empty projection: one group, total count
+        let empty = wide.project(&[]).unwrap();
+        assert_eq!(empty.num_groups(), 1);
+        assert_eq!(empty.iter().next().unwrap().1, 6);
+    }
+}

@@ -1,0 +1,118 @@
+//! A minimal FxHash implementation (the rustc hash), in-tree so the project
+//! stays within its approved dependency set.
+//!
+//! Frequency-set computation hashes short tuples of small integers millions
+//! of times; SipHash (the std default) is measurably slower for this shape of
+//! key, which is why the perf guidance for database code recommends an
+//! Fx-style hasher for integer-keyed tables.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc implementation.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc/Firefox "Fx" hasher: fast, non-cryptographic, suitable when
+/// HashDoS is not a concern (all keys here are internally generated ids).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_eq!(hash_one([1u32, 2, 3]), hash_one([1u32, 2, 3]));
+    }
+
+    #[test]
+    fn discriminates_simple_keys() {
+        assert_ne!(hash_one(1u32), hash_one(2u32));
+        assert_ne!(hash_one([1u32, 2]), hash_one([2u32, 1]));
+    }
+
+    #[test]
+    fn byte_write_handles_remainders() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let a = h.finish();
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a, h.finish());
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FxHashMap<[u32; 3], u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            *m.entry([i % 10, i % 7, i % 3]).or_insert(0) += 1;
+        }
+        assert_eq!(m.values().sum::<u64>(), 1000);
+        assert_eq!(m.len(), (10 * 7 * 3)); // lcm(10,7,3)=210 >= 1000/…: all combos cycle
+    }
+}

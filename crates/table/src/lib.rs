@@ -1,0 +1,33 @@
+//! In-memory columnar table substrate for the Incognito reproduction.
+//!
+//! The paper ran on IBM DB2: the microdata lived in a relational star schema
+//! (Figure 4) whose dimension tables materialized the value generalization
+//! functions, frequency sets were `GROUP BY COUNT(*)` queries, and rollups
+//! were `SUM(count)` queries over a frequency set joined with a dimension
+//! table. This crate is that substrate, built from scratch:
+//!
+//! * [`Table`] — a dictionary-encoded, column-oriented multiset of tuples;
+//! * [`Schema`] / [`Attribute`] — attributes bound to their generalization
+//!   hierarchies (the dimension tables);
+//! * [`GroupSpec`] / [`FrequencySet`] — frequency-set computation by scan,
+//!   by rollup (the Rollup Property), and by projection (the Subset
+//!   Property);
+//! * [`Table::generalize`] — materializing a full-domain generalization,
+//!   optionally with the tuple-suppression threshold of §2.1;
+//! * [`fxhash`] — the fast integer hasher used for group keys.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod external;
+pub mod freq;
+pub mod fxhash;
+mod schema;
+mod table;
+
+pub use error::TableError;
+pub use external::{ExternalError, ExternalFrequencySet};
+pub use freq::{FrequencySet, GroupKey, GroupSpec, MAX_KEY_ATTRS};
+pub use schema::{Attribute, Schema};
+pub use table::Table;

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from the harness CSVs in results/.
+
+Run after the measurement binaries:
+    python3 scripts/fill_experiments.py
+"""
+import csv
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+DOC = ROOT / "EXPERIMENTS.md"
+
+
+def read(name):
+    with open(RESULTS / f"{name}.csv") as f:
+        return list(csv.reader(f))
+
+
+def main():
+    text = DOC.read_text()
+    subs = {}
+
+    # E3 nodes searched.
+    ns = read("table_nodes_searched")
+    for row in ns[1:]:
+        q = row[0]
+        subs[f"{{{{NS{q}B}}}}"] = f"{int(row[1]):,}"
+        subs[f"{{{{NS{q}I}}}}"] = f"{int(row[2]):,}"
+    last = ns[-1]
+    subs["{{NSRATIO}}"] = f"{int(last[1]) / int(last[2]):.1f}"
+
+    # E2 fig10 last rows.
+    for key, name in [
+        ("F10A2", "fig10_adults_k2"),
+        ("F10A10", "fig10_adults_k10"),
+        ("F10L2", "fig10_landsend_k2"),
+        ("F10L10", "fig10_landsend_k10"),
+    ]:
+        rows = read(name)
+        subs[f"{{{{{key}}}}}"] = " | ".join(rows[-1][1:])
+    a2 = read("fig10_adults_k2")[-1]
+    best_incognito = min(float(a2[4]), float(a2[5]), float(a2[6]))
+    best_other = min(float(a2[1]), float(a2[2]), float(a2[3]))
+    subs["{{F10GAP}}"] = f"{best_other / best_incognito:.1f}"
+
+    # E4 fig11 tables.
+    rows = read("fig11_adults_qid8")
+    subs["{{F11ADULTS}}"] = "\n".join("| " + " | ".join(r) + " |" for r in rows[1:])
+    rows = read("fig11_landsend_staggered")
+    subs["{{F11LANDS}}"] = "\n".join("| " + " | ".join(r) + " |" for r in rows[1:])
+
+    # E5 fig12 last rows.
+    subs["{{F12A}}"] = " | ".join(read("fig12_adults_k2")[-1][1:])
+    subs["{{F12L}}"] = " | ".join(read("fig12_landsend_k2")[-1][1:])
+
+    # E8 footnote 2 (drop the matrix-check column for the doc table).
+    rows = read("footnote2_distance_matrix")
+    subs["{{FOOTNOTE2}}"] = "\n".join(
+        f"| {r[0]} | {r[1]} | {r[2]} | {r[4]} |" for r in rows[1:]
+    )
+
+    for k, v in subs.items():
+        text = text.replace(k, v)
+    leftovers = re.findall(r"\{\{[A-Z0-9]+\}\}", text)
+    DOC.write_text(text)
+    if leftovers:
+        print("WARNING: unfilled placeholders:", leftovers)
+    else:
+        print("EXPERIMENTS.md filled.")
+
+
+if __name__ == "__main__":
+    main()

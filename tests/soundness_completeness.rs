@@ -1,0 +1,282 @@
+//! Property-based verification of the paper's §3.2 theorem — *Basic
+//! Incognito is sound and complete for producing k-anonymous full-domain
+//! generalizations* — plus the three structural properties it rests on
+//! (Generalization, Rollup, Subset), over randomly generated tables and
+//! hierarchies.
+
+use proptest::prelude::*;
+
+use incognito::algo::{
+    binary_search::samarati_binary_search, bottom_up::bottom_up_search, cube::cube_incognito,
+    incognito as run_incognito, Config,
+};
+use incognito::lattice::PruneStrategy;
+use incognito::hierarchy::Hierarchy;
+use incognito::lattice::CandidateGraph;
+use incognito::table::{Attribute, GroupSpec, Schema, Table};
+
+/// A random generalization hierarchy: `ground` leaf values, random nested
+/// merges up to a random height, topped with full suppression.
+fn arb_hierarchy(name: &'static str) -> impl Strategy<Value = Hierarchy> {
+    (2usize..8, 1u8..3).prop_flat_map(move |(ground, mid_levels)| {
+        // Random parent maps: at each level, values merge into ~half as
+        // many parents.
+        let mut strat: Vec<BoxedStrategy<Vec<u32>>> = Vec::new();
+        let mut size = ground;
+        for _ in 0..mid_levels {
+            let next = size.div_ceil(2).max(1);
+            strat.push(
+                proptest::collection::vec(0..next as u32, size)
+                    .prop_map(move |mut v| {
+                        // Force γ to be onto: pin the first `next` children.
+                        for (i, slot) in v.iter_mut().enumerate().take(next) {
+                            *slot = i as u32;
+                        }
+                        v
+                    })
+                    .boxed(),
+            );
+            size = next;
+        }
+        let sizes: Vec<usize> = {
+            let mut v = vec![ground];
+            let mut s = ground;
+            for _ in 0..mid_levels {
+                s = s.div_ceil(2).max(1);
+                v.push(s);
+            }
+            v
+        };
+        strat.prop_map(move |maps| {
+            let mut levels: Vec<Vec<String>> = Vec::new();
+            for (l, &sz) in sizes.iter().enumerate() {
+                levels.push((0..sz).map(|i| format!("{name}-L{l}-{i}")).collect());
+            }
+            // Top it with a suppression level unless already singleton.
+            let mut maps = maps;
+            if *sizes.last().expect("nonempty") > 1 {
+                maps.push(vec![0; *sizes.last().expect("nonempty")]);
+                levels.push(vec![format!("{name}-*")]);
+            }
+            Hierarchy::from_levels(name, levels, maps).expect("constructed valid")
+        })
+    })
+}
+
+/// A random 3-attribute table (7 × arbitrary hierarchies would explode the
+/// lattice; 3 keeps brute force honest while covering the multi-attribute
+/// machinery).
+fn arb_table() -> impl Strategy<Value = Table> {
+    (arb_hierarchy("A"), arb_hierarchy("B"), arb_hierarchy("C")).prop_flat_map(|(ha, hb, hc)| {
+        let (ga, gb, gc) = (ha.ground_size(), hb.ground_size(), hc.ground_size());
+        let schema = Schema::new(vec![
+            Attribute::new("A", ha),
+            Attribute::new("B", hb),
+            Attribute::new("C", hc),
+        ])
+        .expect("distinct names");
+        proptest::collection::vec(
+            (0..ga as u32, 0..gb as u32, 0..gc as u32),
+            0..40,
+        )
+        .prop_map(move |rows| {
+            let mut cols = vec![Vec::new(), Vec::new(), Vec::new()];
+            for (a, b, c) in rows {
+                cols[0].push(a);
+                cols[1].push(b);
+                cols[2].push(c);
+            }
+            Table::from_columns(schema.clone(), cols).expect("ids in range")
+        })
+    })
+}
+
+/// Brute force: test every node of the full lattice directly.
+fn brute_force(table: &Table, qi: &[usize], k: u64) -> Vec<Vec<u8>> {
+    let lattice = CandidateGraph::full_lattice(table.schema(), qi);
+    let mut out: Vec<Vec<u8>> = lattice
+        .nodes()
+        .iter()
+        .filter(|n| {
+            table
+                .frequency_set(&n.to_group_spec().expect("valid spec"))
+                .expect("valid spec")
+                .is_k_anonymous(k)
+        })
+        .map(|n| n.levels())
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §3.2: Incognito (all variants) returns exactly the brute-force set.
+    #[test]
+    fn incognito_sound_and_complete(table in arb_table(), k in 1u64..6) {
+        let qi = [0usize, 1, 2];
+        let truth = brute_force(&table, &qi, k);
+        for cfg in [
+            Config::new(k),
+            Config::new(k).with_superroots(true),
+            Config::new(k).with_rollup(false),
+            Config::new(k).with_prune(PruneStrategy::HashSet),
+        ] {
+            let r = run_incognito(&table, &qi, &cfg).expect("valid workload");
+            let got: Vec<Vec<u8>> =
+                r.generalizations().iter().map(|g| g.levels.clone()).collect();
+            prop_assert_eq!(&got, &truth, "cfg {:?}", cfg);
+        }
+        let cube = cube_incognito(&table, &qi, &Config::new(k)).expect("valid workload");
+        let got: Vec<Vec<u8>> =
+            cube.generalizations().iter().map(|g| g.levels.clone()).collect();
+        prop_assert_eq!(&got, &truth, "cube variant");
+        let bu = bottom_up_search(&table, &qi, &Config::new(k)).expect("valid workload");
+        let got: Vec<Vec<u8>> = bu.generalizations().iter().map(|g| g.levels.clone()).collect();
+        prop_assert_eq!(&got, &truth, "bottom-up");
+    }
+
+    /// Binary search finds exactly the minimal-height members of the truth.
+    #[test]
+    fn binary_search_finds_minimal_height(table in arb_table(), k in 1u64..6) {
+        let qi = [0usize, 1, 2];
+        let truth = brute_force(&table, &qi, k);
+        let result = samarati_binary_search(&table, &qi, &Config::new(k));
+        if truth.is_empty() {
+            prop_assert!(result.is_err());
+        } else {
+            let min_h = truth
+                .iter()
+                .map(|ls| ls.iter().map(|&l| l as u32).sum::<u32>())
+                .min()
+                .expect("nonempty");
+            let r = result.expect("satisfiable");
+            prop_assert_eq!(r.minimal_height(), Some(min_h));
+            for g in r.generalizations() {
+                prop_assert!(truth.contains(&g.levels));
+                prop_assert_eq!(g.height(), min_h);
+            }
+        }
+    }
+
+    /// Generalization Property: k-anonymous at P ⇒ k-anonymous at any
+    /// generalization Q of P.
+    #[test]
+    fn generalization_property(table in arb_table(), k in 1u64..6) {
+        let schema = table.schema().clone();
+        let lattice = CandidateGraph::full_lattice(&schema, &[0, 1, 2]);
+        for &(s, e) in lattice.edges() {
+            let fs = table
+                .frequency_set(&lattice.node(s).to_group_spec().expect("valid"))
+                .expect("valid");
+            if fs.is_k_anonymous(k) {
+                let fe = table
+                    .frequency_set(&lattice.node(e).to_group_spec().expect("valid"))
+                    .expect("valid");
+                prop_assert!(fe.is_k_anonymous(k));
+            }
+        }
+    }
+
+    /// Rollup Property: rolling a frequency set up equals rescanning at the
+    /// higher levels.
+    #[test]
+    fn rollup_property(table in arb_table(), lift in proptest::collection::vec(0u8..3, 3)) {
+        let schema = table.schema().clone();
+        let ground = table
+            .frequency_set(&GroupSpec::ground(&[0, 1, 2]).expect("valid"))
+            .expect("valid");
+        let target: Vec<u8> = (0..3)
+            .map(|i| lift[i].min(schema.hierarchy(i).height()))
+            .collect();
+        let rolled = ground.rollup(&schema, &target).expect("upward");
+        let spec = GroupSpec::new(
+            (0..3).map(|i| (i, target[i])).collect(),
+        ).expect("valid");
+        let scanned = table.frequency_set(&spec).expect("valid");
+        prop_assert_eq!(
+            rolled.to_labeled_rows(&schema),
+            scanned.to_labeled_rows(&schema)
+        );
+    }
+
+    /// Subset Property: k-anonymous w.r.t. Q ⇒ k-anonymous w.r.t. P ⊆ Q;
+    /// equivalently projections of frequency sets match narrow scans.
+    #[test]
+    fn subset_property(table in arb_table(), k in 1u64..6) {
+        let schema = table.schema().clone();
+        let wide = table
+            .frequency_set(&GroupSpec::ground(&[0, 1, 2]).expect("valid"))
+            .expect("valid");
+        for keep in [vec![0usize], vec![1], vec![2], vec![0, 1], vec![0, 2], vec![1, 2]] {
+            let proj = wide.project(&keep).expect("valid positions");
+            let attrs: Vec<usize> = keep.clone();
+            let scan = table
+                .frequency_set(&GroupSpec::ground(&attrs).expect("valid"))
+                .expect("valid");
+            prop_assert_eq!(
+                proj.to_labeled_rows(&schema),
+                scan.to_labeled_rows(&schema)
+            );
+            if wide.is_k_anonymous(k) {
+                prop_assert!(proj.is_k_anonymous(k));
+            }
+        }
+    }
+
+    /// Every generalization Incognito reports materializes to a view that
+    /// really is k-anonymous; the bottom lattice node is reported iff the
+    /// raw table is k-anonymous.
+    #[test]
+    fn reported_generalizations_materialize_k_anonymous(
+        table in arb_table(),
+        k in 1u64..6,
+    ) {
+        let qi = [0usize, 1, 2];
+        let r = run_incognito(&table, &qi, &Config::new(k)).expect("valid workload");
+        for g in r.generalizations().iter().take(8) {
+            let (view, suppressed) = r.materialize(&table, g).expect("reported gens valid");
+            prop_assert_eq!(suppressed, 0);
+            let spec = GroupSpec::ground(&qi).expect("valid");
+            prop_assert!(view.is_k_anonymous(&spec, k).expect("valid"));
+        }
+        let raw_anonymous = table
+            .frequency_set(&GroupSpec::ground(&qi).expect("valid"))
+            .expect("valid")
+            .is_k_anonymous(k);
+        prop_assert_eq!(r.contains(&[0, 0, 0]), raw_anonymous);
+    }
+}
+
+/// Suppression-threshold semantics hold under the same property regime.
+#[test]
+fn suppression_matches_brute_force_on_fixed_tables() {
+    let t = incognito::data::patients();
+    for k in [2u64, 3] {
+        for max_sup in [0u64, 1, 2, 3] {
+            let cfg = Config::new(k).with_suppression(max_sup);
+            let r = run_incognito(&t, &[0, 1, 2], &cfg).expect("valid workload");
+            let lattice = CandidateGraph::full_lattice(t.schema(), &[0, 1, 2]);
+            let mut truth: Vec<Vec<u8>> = lattice
+                .nodes()
+                .iter()
+                .filter(|n| {
+                    let f = t
+                        .frequency_set(&n.to_group_spec().expect("valid"))
+                        .expect("valid");
+                    if max_sup == 0 {
+                        f.is_k_anonymous(k)
+                    } else {
+                        f.is_k_anonymous_with_suppression(k, max_sup)
+                    }
+                })
+                .map(|n| n.levels())
+                .collect();
+            truth.sort();
+            let got: Vec<Vec<u8>> =
+                r.generalizations().iter().map(|g| g.levels.clone()).collect();
+            assert_eq!(got, truth, "k={k} max_sup={max_sup}");
+        }
+    }
+}
