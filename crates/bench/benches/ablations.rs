@@ -7,47 +7,36 @@
 //! * **A3 prune structure** — Apriori hash tree vs. flat hash set in the
 //!   prune phase;
 //! * **A4 super-roots** — root grouping on vs. off (§4.2.2's scan savings).
+//!
+//! Plain `fn main()` harness (see `incognito_bench::micro`); run with
+//! `cargo bench -p incognito-bench --bench ablations`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use incognito_bench::micro::Micro;
 use incognito_core::{incognito, Config};
 use incognito_data::{adults, AdultsConfig};
 use incognito_lattice::{generate_next, CandidateGraph, PruneStrategy};
 
-fn bench_rollup_ablation(c: &mut Criterion) {
+fn bench_rollup_ablation() {
     let table = adults(&AdultsConfig { rows: 45_222, seed: 1 });
     let qi: Vec<usize> = (0..5).collect();
-    let mut group = c.benchmark_group("ablation_rollup");
-    group.sample_size(10);
-    group.bench_function("with_rollup", |b| {
-        b.iter(|| black_box(incognito(&table, &qi, &Config::new(2)).unwrap()));
+    let group = Micro::group("ablation_rollup");
+    group.case("with_rollup", || incognito(&table, &qi, &Config::new(2)).unwrap());
+    group.case("without_rollup", || {
+        incognito(&table, &qi, &Config::new(2).with_rollup(false)).unwrap()
     });
-    group.bench_function("without_rollup", |b| {
-        b.iter(|| black_box(incognito(&table, &qi, &Config::new(2).with_rollup(false)).unwrap()));
-    });
-    group.finish();
 }
 
-fn bench_apriori_ablation(c: &mut Criterion) {
+fn bench_apriori_ablation() {
     let table = adults(&AdultsConfig { rows: 45_222, seed: 1 });
     let qi: Vec<usize> = (0..6).collect();
-    let mut group = c.benchmark_group("ablation_apriori");
-    group.sample_size(10);
-    group.bench_function("with_prune", |b| {
-        b.iter(|| black_box(incognito(&table, &qi, &Config::new(2)).unwrap()));
+    let group = Micro::group("ablation_apriori");
+    group.case("with_prune", || incognito(&table, &qi, &Config::new(2)).unwrap());
+    group.case("without_prune", || {
+        incognito(&table, &qi, &Config::new(2).with_prune(PruneStrategy::None)).unwrap()
     });
-    group.bench_function("without_prune", |b| {
-        b.iter(|| {
-            black_box(
-                incognito(&table, &qi, &Config::new(2).with_prune(PruneStrategy::None)).unwrap(),
-            )
-        });
-    });
-    group.finish();
 }
 
-fn bench_prune_structure(c: &mut Criterion) {
+fn bench_prune_structure() {
     // Isolate the candidate-generation step: all C2 nodes alive, generate
     // C3 with each membership structure.
     let table = adults(&AdultsConfig { rows: 1, seed: 1 });
@@ -58,87 +47,61 @@ fn bench_prune_structure(c: &mut Criterion) {
     // Kill a third of the nodes so the prune phase has real work.
     let alive: Vec<bool> = (0..c2.num_nodes()).map(|i| i % 3 != 0).collect();
 
-    let mut group = c.benchmark_group("ablation_prune_structure");
-    group.bench_function("hash_tree", |b| {
-        b.iter(|| black_box(generate_next(&c2, &alive, PruneStrategy::HashTree)));
-    });
-    group.bench_function("hash_set", |b| {
-        b.iter(|| black_box(generate_next(&c2, &alive, PruneStrategy::HashSet)));
-    });
-    group.finish();
+    let group = Micro::group("ablation_prune_structure").samples(20);
+    group.case("hash_tree", || generate_next(&c2, &alive, PruneStrategy::HashTree));
+    group.case("hash_set", || generate_next(&c2, &alive, PruneStrategy::HashSet));
 }
 
-fn bench_superroots_ablation(c: &mut Criterion) {
+fn bench_superroots_ablation() {
     let table = adults(&AdultsConfig { rows: 45_222, seed: 1 });
     let qi: Vec<usize> = (0..6).collect();
-    let mut group = c.benchmark_group("ablation_superroots");
-    group.sample_size(10);
-    group.bench_function("basic", |b| {
-        b.iter(|| black_box(incognito(&table, &qi, &Config::new(2)).unwrap()));
+    let group = Micro::group("ablation_superroots");
+    group.case("basic", || incognito(&table, &qi, &Config::new(2)).unwrap());
+    group.case("superroots", || {
+        incognito(&table, &qi, &Config::new(2).with_superroots(true)).unwrap()
     });
-    group.bench_function("superroots", |b| {
-        b.iter(|| {
-            black_box(incognito(&table, &qi, &Config::new(2).with_superroots(true)).unwrap())
-        });
-    });
-    group.finish();
 }
 
-fn bench_materialization_ablation(c: &mut Criterion) {
+fn bench_materialization_ablation() {
     // §7 future work: repeated anonymization (varying k) with and without
     // a materialized frequency-set store.
     use incognito_core::materialize::{incognito_with_store, FreqStore, MaterializationPolicy};
     let table = adults(&AdultsConfig { rows: 45_222, seed: 1 });
     let qi: Vec<usize> = (0..5).collect();
     let ks = [2u64, 5, 10, 25, 50];
-    let mut group = c.benchmark_group("ablation_materialization");
-    group.sample_size(10);
-    group.bench_function("rescan_each_k", |b| {
-        b.iter(|| {
-            for &k in &ks {
-                black_box(incognito(&table, &qi, &Config::new(k)).unwrap());
-            }
-        });
+    let group = Micro::group("ablation_materialization");
+    group.case("rescan_each_k", || {
+        for &k in &ks {
+            std::hint::black_box(incognito(&table, &qi, &Config::new(k)).unwrap());
+        }
     });
-    group.bench_function("zero_cube_store", |b| {
-        b.iter(|| {
-            let mut store =
-                FreqStore::build(&table, &qi, MaterializationPolicy::ZeroCube).unwrap();
-            for &k in &ks {
-                black_box(
-                    incognito_with_store(&table, &qi, &Config::new(k), &mut store).unwrap(),
-                );
-            }
-        });
+    group.case("zero_cube_store", || {
+        let mut store = FreqStore::build(&table, &qi, MaterializationPolicy::ZeroCube).unwrap();
+        for &k in &ks {
+            std::hint::black_box(
+                incognito_with_store(&table, &qi, &Config::new(k), &mut store).unwrap(),
+            );
+        }
     });
-    group.finish();
 }
 
-fn bench_sql_substrate_overhead(c: &mut Criterion) {
+fn bench_sql_substrate_overhead() {
     // Native columnar engine vs the star-schema SQL path (the paper's DB2
     // formulation): same algorithm, generic relational substrate.
     let table = adults(&AdultsConfig { rows: 5_000, seed: 1 });
     let qi: Vec<usize> = vec![0, 1, 3];
-    let mut group = c.benchmark_group("ablation_sql_substrate");
-    group.sample_size(10);
-    group.bench_function("native_columnar", |b| {
-        b.iter(|| black_box(incognito(&table, &qi, &Config::new(5)).unwrap()));
+    let group = Micro::group("ablation_sql_substrate");
+    group.case("native_columnar", || incognito(&table, &qi, &Config::new(5)).unwrap());
+    group.case("sql_star_schema", || {
+        incognito_star::incognito_sql(&table, &qi, &Config::new(5)).unwrap()
     });
-    group.bench_function("sql_star_schema", |b| {
-        b.iter(|| {
-            black_box(incognito_star::incognito_sql(&table, &qi, &Config::new(5)).unwrap())
-        });
-    });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_rollup_ablation,
-    bench_apriori_ablation,
-    bench_prune_structure,
-    bench_superroots_ablation,
-    bench_materialization_ablation,
-    bench_sql_substrate_overhead
-);
-criterion_main!(benches);
+fn main() {
+    bench_rollup_ablation();
+    bench_apriori_ablation();
+    bench_prune_structure();
+    bench_superroots_ablation();
+    bench_materialization_ablation();
+    bench_sql_substrate_overhead();
+}

@@ -1,38 +1,33 @@
 //! End-to-end algorithm benchmarks on the synthetic Adults data — the
-//! Criterion companion to the Figure 10 harness binaries, pinned at a
-//! quasi-identifier size small enough for statistical sampling.
+//! microbench companion to the Figure 10 harness binaries, pinned at a
+//! quasi-identifier size small enough for repeated sampling.
+//!
+//! Plain `fn main()` harness (see `incognito_bench::micro`); run with
+//! `cargo bench -p incognito-bench --bench algorithms`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use incognito_bench::micro::Micro;
 use incognito_bench::Algo;
 use incognito_data::{adults, AdultsConfig};
 
-fn bench_algorithms(c: &mut Criterion) {
+fn bench_algorithms() {
     let table = adults(&AdultsConfig { rows: 45_222, seed: 1 });
     let qi: Vec<usize> = (0..5).collect();
-    let mut group = c.benchmark_group("adults_qid5_k2");
-    group.sample_size(10);
+    let group = Micro::group("adults_qid5_k2");
     for algo in Algo::ALL {
-        group.bench_function(algo.label(), |b| {
-            b.iter(|| black_box(algo.run(&table, &qi, 2)));
-        });
+        group.case(algo.label(), || algo.run(&table, &qi, 2));
     }
-    group.finish();
 }
 
-fn bench_k_sensitivity(c: &mut Criterion) {
+fn bench_k_sensitivity() {
     let table = adults(&AdultsConfig { rows: 45_222, seed: 1 });
     let qi: Vec<usize> = (0..6).collect();
-    let mut group = c.benchmark_group("incognito_k_sensitivity");
-    group.sample_size(10);
+    let group = Micro::group("incognito_k_sensitivity");
     for k in [2u64, 10, 50] {
-        group.bench_function(format!("k{k}"), |b| {
-            b.iter(|| black_box(Algo::BasicIncognito.run(&table, &qi, k)));
-        });
+        group.case(&format!("k{k}"), || Algo::BasicIncognito.run(&table, &qi, k));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_k_sensitivity);
-criterion_main!(benches);
+fn main() {
+    bench_algorithms();
+    bench_k_sensitivity();
+}

@@ -3,114 +3,86 @@
 //! (the §3 Rollup Property), and subset projection (Cube Incognito's
 //! building block). Rollup and projection should beat rescanning by a wide
 //! margin, which is exactly why the paper's optimizations pay off.
+//!
+//! Plain `fn main()` harness (see `incognito_bench::micro`); run with
+//! `cargo bench -p incognito-bench --bench substrate`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use incognito_bench::micro::Micro;
 use incognito_data::{adults, AdultsConfig};
 use incognito_table::GroupSpec;
 
-fn bench_frequency_scan(c: &mut Criterion) {
+fn bench_frequency_scan() {
     let table = adults(&AdultsConfig { rows: 45_222, seed: 1 });
-    let mut group = c.benchmark_group("freq_scan");
+    let group = Micro::group("freq_scan").samples(20);
     for n in [2usize, 4, 6] {
         let spec = GroupSpec::ground(&(0..n).collect::<Vec<_>>()).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
-            b.iter(|| black_box(table.frequency_set(spec).unwrap()));
-        });
+        group.case(&format!("{n}_attrs"), || table.frequency_set(&spec).unwrap());
     }
-    group.finish();
 }
 
-fn bench_rollup_vs_rescan(c: &mut Criterion) {
+fn bench_rollup_vs_rescan() {
     let table = adults(&AdultsConfig { rows: 45_222, seed: 1 });
     let schema = table.schema().clone();
     // Ground frequency set over ⟨Age, Gender, Marital⟩; target one level up
     // on Age.
-    let ground = table
-        .frequency_set(&GroupSpec::ground(&[0, 1, 3]).unwrap())
-        .unwrap();
+    let ground = table.frequency_set(&GroupSpec::ground(&[0, 1, 3]).unwrap()).unwrap();
     let target = [1u8, 0, 0];
 
-    let mut group = c.benchmark_group("rollup_vs_rescan");
-    group.bench_function("rollup", |b| {
-        b.iter(|| black_box(ground.rollup(&schema, &target).unwrap()));
-    });
+    let group = Micro::group("rollup_vs_rescan").samples(20);
+    group.case("rollup", || ground.rollup(&schema, &target).unwrap());
     let rescan_spec = GroupSpec::new(vec![(0, 1), (1, 0), (3, 0)]).unwrap();
-    group.bench_function("rescan", |b| {
-        b.iter(|| black_box(table.frequency_set(&rescan_spec).unwrap()));
-    });
-    group.finish();
+    group.case("rescan", || table.frequency_set(&rescan_spec).unwrap());
 }
 
-fn bench_projection(c: &mut Criterion) {
+fn bench_projection() {
     let table = adults(&AdultsConfig { rows: 45_222, seed: 1 });
-    let wide = table
-        .frequency_set(&GroupSpec::ground(&[0, 1, 2, 3, 4]).unwrap())
-        .unwrap();
-    let mut group = c.benchmark_group("cube_projection");
-    group.bench_function("project_5_to_3", |b| {
-        b.iter(|| black_box(wide.project(&[0, 1, 3]).unwrap()));
-    });
+    let wide = table.frequency_set(&GroupSpec::ground(&[0, 1, 2, 3, 4]).unwrap()).unwrap();
+    let group = Micro::group("cube_projection").samples(20);
+    group.case("project_5_to_3", || wide.project(&[0, 1, 3]).unwrap());
     let narrow_spec = GroupSpec::ground(&[0, 1, 3]).unwrap();
-    group.bench_function("scan_3_direct", |b| {
-        b.iter(|| black_box(table.frequency_set(&narrow_spec).unwrap()));
-    });
-    group.finish();
+    group.case("scan_3_direct", || table.frequency_set(&narrow_spec).unwrap());
 }
 
-fn bench_parallel_scan(c: &mut Criterion) {
-    let table = incognito_data::lands_end(&incognito_data::LandsEndConfig {
-        rows: 300_000,
-        seed: 1,
-    });
+fn bench_parallel_scan() {
+    let table =
+        incognito_data::lands_end(&incognito_data::LandsEndConfig { rows: 300_000, seed: 1 });
     let spec = GroupSpec::ground(&[0, 1, 2, 3]).unwrap();
-    let mut group = c.benchmark_group("parallel_scan_300k");
-    group.sample_size(10);
+    let group = Micro::group("parallel_scan_300k");
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| black_box(table.frequency_set_parallel(&spec, t).unwrap()));
+        group.case(&format!("{threads}_threads"), || {
+            table.frequency_set_parallel(&spec, threads).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_external_vs_in_memory(c: &mut Criterion) {
+fn bench_external_vs_in_memory() {
     // The §7 out-of-core pipeline vs the in-memory scan: the spill costs a
     // constant factor; its payoff is bounded peak memory, not speed.
     use incognito_table::ExternalFrequencySet;
-    let table = incognito_data::lands_end(&incognito_data::LandsEndConfig {
-        rows: 100_000,
-        seed: 1,
-    });
+    let table =
+        incognito_data::lands_end(&incognito_data::LandsEndConfig { rows: 100_000, seed: 1 });
     let spec = GroupSpec::ground(&[0, 2, 3]).unwrap();
     let spill = std::env::temp_dir();
-    let mut group = c.benchmark_group("external_freq_100k");
-    group.sample_size(10);
-    group.bench_function("in_memory", |b| {
-        b.iter(|| black_box(table.frequency_set(&spec).unwrap().is_k_anonymous(10)));
+    let group = Micro::group("external_freq_100k");
+    group.case("in_memory", || table.frequency_set(&spec).unwrap().is_k_anonymous(10));
+    group.case("spill_16_partitions", || {
+        let ext = ExternalFrequencySet::build(&table, &spec, 16, &spill).unwrap();
+        ext.is_k_anonymous(10).unwrap()
     });
-    group.bench_function("spill_16_partitions", |b| {
-        b.iter(|| {
-            let ext = ExternalFrequencySet::build(&table, &spec, 16, &spill).unwrap();
-            black_box(ext.is_k_anonymous(10).unwrap())
-        });
-    });
-    group.finish();
 }
 
-fn bench_generalize_view(c: &mut Criterion) {
+fn bench_generalize_view() {
     let table = adults(&AdultsConfig { rows: 45_222, seed: 1 });
     let levels = [2u8, 1, 0, 1, 1, 0, 0, 0, 0];
-    c.bench_function("materialize_generalized_view", |b| {
-        b.iter(|| black_box(table.generalize(&levels).unwrap()));
-    });
+    let group = Micro::group("materialize_generalized_view").samples(20);
+    group.case("generalize", || table.generalize(&levels).unwrap());
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_frequency_scan, bench_rollup_vs_rescan, bench_projection,
-        bench_parallel_scan, bench_external_vs_in_memory, bench_generalize_view
+fn main() {
+    bench_frequency_scan();
+    bench_rollup_vs_rescan();
+    bench_projection();
+    bench_parallel_scan();
+    bench_external_vs_in_memory();
+    bench_generalize_view();
 }
-criterion_main!(benches);

@@ -3,27 +3,21 @@
 //! Prints, for each dataset, the attribute list with distinct ground-value
 //! counts and generalization-hierarchy heights, plus the generated row
 //! counts — the reproduction of the paper's dataset-description table.
+//! Also runs one Basic Incognito probe per dataset (QI = first 5
+//! attributes, k = 2) so the `BENCH_fig09_datasets.json` report carries
+//! per-iteration wall-clock and table-engine counters for the exact data
+//! being described.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin fig09_datasets
 //!         [--rows-adults N] [--rows-landsend N]`
 
-use incognito_bench::{Cli, Series};
-use incognito_data::{adults, landsend, AdultsConfig, LandsEndConfig};
+use incognito_bench::{Algo, BenchReport, Cli, Series};
+use incognito_data::{adults, landsend};
+use incognito_table::Table;
 
-fn main() {
-    let cli = Cli::from_env();
-    let adults_cfg = AdultsConfig {
-        rows: cli.get("rows-adults").unwrap_or(AdultsConfig::default().rows),
-        ..AdultsConfig::default()
-    };
-    let landsend_cfg = LandsEndConfig {
-        rows: cli.get("rows-landsend").unwrap_or(LandsEndConfig::default().rows),
-        ..LandsEndConfig::default()
-    };
-
-    let a = adults::adults(&adults_cfg);
-    let mut s = Series::new("fig09_adults", &["#", "Attribute", "Distinct values", "Hierarchy height"]);
-    for (i, attr) in a.schema().attributes().iter().enumerate() {
+fn describe(name: &str, table: &Table) {
+    let mut s = Series::new(name, &["#", "Attribute", "Distinct values", "Hierarchy height"]);
+    for (i, attr) in table.schema().attributes().iter().enumerate() {
         s.push(vec![
             (i + 1).to_string(),
             attr.name().to_string(),
@@ -32,25 +26,36 @@ fn main() {
         ]);
     }
     s.emit();
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let adults_cfg = cli.adults_config();
+    let landsend_cfg = cli.landsend_config(100_000);
+    let mut report = BenchReport::new("fig09_datasets");
+    report.set("rows_adults", adults_cfg.rows);
+    report.set("rows_landsend", landsend_cfg.rows);
+
+    let a = adults::adults(&adults_cfg);
+    describe("fig09_adults", &a);
     println!(
         "Adults: {} records (paper: 45,222 records, 5.5 MB). Synthetic; see DESIGN.md.",
         a.num_rows()
     );
+    let qi: Vec<usize> = (0..5).collect();
+    let (r, wall) = Algo::BasicIncognito.run(&a, &qi, 2);
+    report.record_run("Basic Incognito", "adults", 2, qi.len(), &r, wall);
+    drop(a);
 
     let l = landsend::lands_end(&landsend_cfg);
-    let mut s =
-        Series::new("fig09_landsend", &["#", "Attribute", "Distinct values", "Hierarchy height"]);
-    for (i, attr) in l.schema().attributes().iter().enumerate() {
-        s.push(vec![
-            (i + 1).to_string(),
-            attr.name().to_string(),
-            attr.hierarchy().ground_size().to_string(),
-            attr.hierarchy().height().to_string(),
-        ]);
-    }
-    s.emit();
+    describe("fig09_landsend", &l);
     println!(
         "Lands End: {} records (paper: 4,591,581 records, 268 MB; pass --rows-landsend 4591581 for paper scale). Synthetic; see DESIGN.md.",
         l.num_rows()
     );
+    let qi: Vec<usize> = (0..5).collect();
+    let (r, wall) = Algo::BasicIncognito.run(&l, &qi, 2);
+    report.record_run("Basic Incognito", "landsend", 2, qi.len(), &r, wall);
+
+    report.finish();
 }

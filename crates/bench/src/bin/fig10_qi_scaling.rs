@@ -4,7 +4,8 @@
 //! The paper begins with the first three attributes of each schema
 //! (Figure 9 order) and adds attributes in listed order; Adults sweeps QI
 //! sizes 3–9, Lands End 1–6. Output: one table (and CSV) per panel, one
-//! column per algorithm, elapsed seconds.
+//! column per algorithm, elapsed seconds; plus `BENCH_fig10_qi_scaling.json`
+//! with per-run timings and engine metrics.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin fig10_qi_scaling
 //!         [--rows-adults N] [--rows-landsend N] [--quick]`
@@ -12,11 +13,19 @@
 //! `--quick` trims each sweep's largest sizes and the slowest baseline so a
 //! laptop pass completes in ~a minute.
 
-use incognito_bench::{secs, Algo, Cli, Series};
-use incognito_data::{adults, landsend, AdultsConfig, LandsEndConfig};
+use incognito_bench::{secs, Algo, BenchReport, Cli, Series};
+use incognito_data::{adults, landsend};
 use incognito_table::Table;
 
-fn panel(name: &str, table: &Table, k: u64, sizes: &[usize], algos: &[Algo]) {
+fn panel(
+    name: &str,
+    dataset: &str,
+    table: &Table,
+    k: u64,
+    sizes: &[usize],
+    algos: &[Algo],
+    report: &mut BenchReport,
+) {
     let mut headers = vec!["QI size".to_string()];
     headers.extend(algos.iter().map(|a| a.label().to_string()));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -34,6 +43,7 @@ fn panel(name: &str, table: &Table, k: u64, sizes: &[usize], algos: &[Algo]) {
                 result.len(),
                 result.stats().nodes_checked()
             );
+            report.record_run(algo.label(), dataset, k, n, &result, elapsed);
         }
         series.push(row);
     }
@@ -43,16 +53,13 @@ fn panel(name: &str, table: &Table, k: u64, sizes: &[usize], algos: &[Algo]) {
 fn main() {
     let cli = Cli::from_env();
     let quick = cli.has("quick");
-    let adults_cfg = AdultsConfig {
-        rows: cli.get("rows-adults").unwrap_or(AdultsConfig::default().rows),
-        ..AdultsConfig::default()
-    };
-    let landsend_cfg = LandsEndConfig {
-        rows: cli
-            .get("rows-landsend")
-            .unwrap_or(if quick { 100_000 } else { LandsEndConfig::default().rows }),
-        ..LandsEndConfig::default()
-    };
+    let adults_cfg = cli.adults_config();
+    let landsend_cfg = cli.landsend_config(100_000);
+
+    let mut report = BenchReport::new("fig10_qi_scaling");
+    report.set("rows_adults", adults_cfg.rows);
+    report.set("rows_landsend", landsend_cfg.rows);
+    report.set("quick", quick);
 
     let algos: Vec<Algo> = if quick {
         Algo::ALL.into_iter().filter(|a| *a != Algo::BottomUpNoRollup).collect()
@@ -63,13 +70,15 @@ fn main() {
     eprintln!("generating Adults ({} rows)...", adults_cfg.rows);
     let a = adults::adults(&adults_cfg);
     let adult_sizes: Vec<usize> = if quick { (3..=6).collect() } else { (3..=9).collect() };
-    panel("fig10_adults_k2", &a, 2, &adult_sizes, &algos);
-    panel("fig10_adults_k10", &a, 10, &adult_sizes, &algos);
+    panel("fig10_adults_k2", "adults", &a, 2, &adult_sizes, &algos, &mut report);
+    panel("fig10_adults_k10", "adults", &a, 10, &adult_sizes, &algos, &mut report);
     drop(a);
 
     eprintln!("generating Lands End ({} rows)...", landsend_cfg.rows);
     let l = landsend::lands_end(&landsend_cfg);
     let lands_sizes: Vec<usize> = if quick { (1..=4).collect() } else { (1..=6).collect() };
-    panel("fig10_landsend_k2", &l, 2, &lands_sizes, &algos);
-    panel("fig10_landsend_k10", &l, 10, &lands_sizes, &algos);
+    panel("fig10_landsend_k2", "landsend", &l, 2, &lands_sizes, &algos, &mut report);
+    panel("fig10_landsend_k10", "landsend", &l, 10, &lands_sizes, &algos, &mut report);
+
+    report.finish();
 }

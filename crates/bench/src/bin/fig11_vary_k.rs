@@ -10,28 +10,26 @@
 //! Usage: `cargo run -p incognito-bench --release --bin fig11_vary_k
 //!         [--rows-adults N] [--rows-landsend N] [--quick]`
 
-use incognito_bench::{secs, Algo, Cli, Series};
-use incognito_data::{adults, landsend, AdultsConfig, LandsEndConfig};
+use incognito_bench::{secs, Algo, BenchReport, Cli, Series};
+use incognito_data::{adults, landsend};
 
 const KS: [u64; 5] = [2, 5, 10, 25, 50];
 
 fn main() {
     let cli = Cli::from_env();
     let quick = cli.has("quick");
-    let adults_cfg = AdultsConfig {
-        rows: cli.get("rows-adults").unwrap_or(AdultsConfig::default().rows),
-        ..AdultsConfig::default()
-    };
-    let landsend_cfg = LandsEndConfig {
-        rows: cli
-            .get("rows-landsend")
-            .unwrap_or(if quick { 100_000 } else { LandsEndConfig::default().rows }),
-        ..LandsEndConfig::default()
-    };
+    let adults_cfg = cli.adults_config();
+    let landsend_cfg = cli.landsend_config(100_000);
+
+    let mut report = BenchReport::new("fig11_vary_k");
+    report.set("rows_adults", adults_cfg.rows);
+    report.set("rows_landsend", landsend_cfg.rows);
+    report.set("quick", quick);
 
     eprintln!("generating Adults ({} rows)...", adults_cfg.rows);
     let a = adults::adults(&adults_cfg);
-    let adults_qi: Vec<usize> = (0..if quick { 6 } else { 8 }).collect();
+    let adults_n = if quick { 6 } else { 8 };
+    let adults_qi: Vec<usize> = (0..adults_n).collect();
     let algos = [
         Algo::BinarySearch,
         Algo::BottomUpRollup,
@@ -48,6 +46,7 @@ fn main() {
             let (r, elapsed) = algo.run(&a, &adults_qi, k);
             row.push(secs(elapsed));
             eprintln!("  adults k={k} {}: {}s ({} checked)", algo.label(), secs(elapsed), r.stats().nodes_checked());
+            report.record_run(algo.label(), "adults", k, adults_n, &r, elapsed);
         }
         series.push(row);
     }
@@ -78,8 +77,11 @@ fn main() {
             let (r, elapsed) = algo.run(&l, qi, k);
             row.push(secs(elapsed));
             eprintln!("  landsend k={k} {} qi={}: {}s ({} checked)", algo.label(), qi.len(), secs(elapsed), r.stats().nodes_checked());
+            report.record_run(algo.label(), "landsend", k, qi.len(), &r, elapsed);
         }
         series.push(row);
     }
     series.emit();
+
+    report.finish();
 }

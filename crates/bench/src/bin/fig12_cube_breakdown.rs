@@ -13,13 +13,13 @@
 
 use std::time::Instant;
 
-use incognito_bench::{secs, Cli, Series};
+use incognito_bench::{secs, BenchReport, Cli, Series};
 use incognito_core::cube::{anonymize_with_cube, Cube};
 use incognito_core::{incognito, Config};
-use incognito_data::{adults, landsend, AdultsConfig, LandsEndConfig};
+use incognito_data::{adults, landsend};
 use incognito_table::Table;
 
-fn panel(name: &str, table: &Table, sizes: &[usize]) {
+fn panel(name: &str, dataset: &str, table: &Table, sizes: &[usize], report: &mut BenchReport) {
     let mut series = Series::new(
         name,
         &["QI size", "Cube build", "Anonymization", "Cube total", "Basic Incognito"],
@@ -35,11 +35,13 @@ fn panel(name: &str, table: &Table, sizes: &[usize]) {
         let r = anonymize_with_cube(table, &cube, &cfg, &mut |_| {}).expect("valid workload");
         let anon = t1.elapsed();
         drop(cube);
+        report.record_run("Cube Incognito", dataset, cfg.k, n, &r, build + anon);
 
         let t2 = Instant::now();
         let basic = incognito(table, &qi, &cfg).expect("valid workload");
         let basic_time = t2.elapsed();
         assert_eq!(r.generalizations(), basic.generalizations(), "variants agree");
+        report.record_run("Basic Incognito", dataset, cfg.k, n, &basic, basic_time);
 
         series.push(vec![
             n.to_string(),
@@ -61,25 +63,24 @@ fn panel(name: &str, table: &Table, sizes: &[usize]) {
 fn main() {
     let cli = Cli::from_env();
     let quick = cli.has("quick");
-    let adults_cfg = AdultsConfig {
-        rows: cli.get("rows-adults").unwrap_or(AdultsConfig::default().rows),
-        ..AdultsConfig::default()
-    };
-    let landsend_cfg = LandsEndConfig {
-        rows: cli
-            .get("rows-landsend")
-            .unwrap_or(if quick { 100_000 } else { LandsEndConfig::default().rows }),
-        ..LandsEndConfig::default()
-    };
+    let adults_cfg = cli.adults_config();
+    let landsend_cfg = cli.landsend_config(100_000);
+
+    let mut report = BenchReport::new("fig12_cube_breakdown");
+    report.set("rows_adults", adults_cfg.rows);
+    report.set("rows_landsend", landsend_cfg.rows);
+    report.set("quick", quick);
 
     eprintln!("generating Adults ({} rows)...", adults_cfg.rows);
     let a = adults::adults(&adults_cfg);
     let adult_sizes: Vec<usize> = if quick { (3..=6).collect() } else { (3..=9).collect() };
-    panel("fig12_adults_k2", &a, &adult_sizes);
+    panel("fig12_adults_k2", "adults", &a, &adult_sizes, &mut report);
     drop(a);
 
     eprintln!("generating Lands End ({} rows)...", landsend_cfg.rows);
     let l = landsend::lands_end(&landsend_cfg);
     let lands_sizes: Vec<usize> = if quick { (3..=5).collect() } else { (3..=8).collect() };
-    panel("fig12_landsend_k2", &l, &lands_sizes);
+    panel("fig12_landsend_k2", "landsend", &l, &lands_sizes, &mut report);
+
+    report.finish();
 }

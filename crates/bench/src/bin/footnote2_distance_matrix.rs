@@ -11,15 +11,21 @@
 
 use std::time::Instant;
 
-use incognito_bench::{secs, Series};
+use incognito_bench::{secs, BenchReport, Series};
 use incognito_core::distance_matrix::DistanceMatrix;
 use incognito_core::Config;
 use incognito_data::{adults, AdultsConfig};
+use incognito_obs::Json;
 use incognito_table::GroupSpec;
 
 fn main() {
     let qi = [0usize, 3, 4]; // Age × Marital × Education
     let cfg = Config::new(2);
+
+    let mut report = BenchReport::new("footnote2_distance_matrix");
+    report.set("k", cfg.k);
+    report.set("qi_arity", qi.len());
+
     let mut series = Series::new(
         "footnote2_distance_matrix",
         &["rows", "distinct tuples", "matrix build", "matrix check", "freq-set check"],
@@ -41,6 +47,14 @@ fn main() {
         let freq_time = t2.elapsed();
         assert_eq!(via_matrix, via_freq, "both checks must agree");
 
+        let mut point = Json::obj();
+        point.set("rows", rows);
+        point.set("distinct_tuples", matrix.num_tuples());
+        point.set("matrix_build_secs", build.as_secs_f64());
+        point.set("matrix_check_secs", check.as_secs_f64());
+        point.set("freq_set_check_secs", freq_time.as_secs_f64());
+        report.record_point("distance matrix vs frequency set", point);
+
         series.push(vec![
             rows.to_string(),
             matrix.num_tuples().to_string(),
@@ -60,4 +74,6 @@ fn main() {
         "The matrix build grows quadratically in distinct tuples while the frequency-set \
          check stays linear in rows — the paper's reason for the group-by formulation."
     );
+
+    report.finish();
 }

@@ -19,16 +19,18 @@
 //! Usage: `cargo run -p incognito-bench --release --bin table_nodes_searched
 //!         [--rows-adults N] [--k K]`
 
-use incognito_bench::{Algo, Cli, Series};
-use incognito_data::{adults, AdultsConfig};
+use incognito_bench::{Algo, BenchReport, Cli, Series};
+use incognito_data::adults;
 
 fn main() {
     let cli = Cli::from_env();
     let k: u64 = cli.get("k").unwrap_or(2);
-    let cfg = AdultsConfig {
-        rows: cli.get("rows-adults").unwrap_or(AdultsConfig::default().rows),
-        ..AdultsConfig::default()
-    };
+    let cfg = cli.adults_config();
+
+    let mut report = BenchReport::new("table_nodes_searched");
+    report.set("rows_adults", cfg.rows);
+    report.set("k", k);
+
     eprintln!("generating Adults ({} rows)...", cfg.rows);
     let table = adults::adults(&cfg);
 
@@ -38,8 +40,8 @@ fn main() {
     );
     for n in 3..=9usize {
         let qi: Vec<usize> = (0..n).collect();
-        let (bu, _) = Algo::BottomUpRollup.run(&table, &qi, k);
-        let (inc, _) = Algo::BasicIncognito.run(&table, &qi, k);
+        let (bu, bu_wall) = Algo::BottomUpRollup.run(&table, &qi, k);
+        let (inc, inc_wall) = Algo::BasicIncognito.run(&table, &qi, k);
         series.push(vec![
             n.to_string(),
             bu.stats().nodes_checked().to_string(),
@@ -48,7 +50,11 @@ fn main() {
             inc.stats().nodes_marked().to_string(),
         ]);
         eprintln!("  qi={n}: bottom-up={} incognito={}", bu.stats().nodes_checked(), inc.stats().nodes_checked());
+        report.record_run(Algo::BottomUpRollup.label(), "adults", k, n, &bu, bu_wall);
+        report.record_run(Algo::BasicIncognito.label(), "adults", k, n, &inc, inc_wall);
     }
     series.emit();
     println!("Paper (real Adults, k=2): 14/14, 47/35, 206/103, 680/246, 2088/664, 6366/1778, 12818/4307.");
+
+    report.finish();
 }

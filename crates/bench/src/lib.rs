@@ -17,6 +17,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod micro;
+pub mod report;
+
+pub use report::BenchReport;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
@@ -26,6 +31,7 @@ use incognito_core::{
     binary_search::samarati_binary_search, bottom_up::bottom_up_search, cube::cube_incognito,
     incognito, AnonymizationResult, Config,
 };
+use incognito_data::{AdultsConfig, LandsEndConfig};
 use incognito_table::Table;
 
 /// The six search algorithms of Figure 10, in the paper's legend order.
@@ -206,6 +212,27 @@ impl Cli {
         let flag = format!("--{name}");
         self.args.contains(&flag)
     }
+
+    /// Adults generator configuration from `--rows-adults N` (defaulting to
+    /// the paper's 45,222 rows). Shared by every bench binary.
+    pub fn adults_config(&self) -> AdultsConfig {
+        AdultsConfig {
+            rows: self.get("rows-adults").unwrap_or(AdultsConfig::default().rows),
+            ..AdultsConfig::default()
+        }
+    }
+
+    /// Lands End generator configuration from `--rows-landsend N`. Under
+    /// `--quick` the default drops to `quick_rows` (full runs default to
+    /// the generator's own row count).
+    pub fn landsend_config(&self, quick_rows: usize) -> LandsEndConfig {
+        let default_rows =
+            if self.has("quick") { quick_rows } else { LandsEndConfig::default().rows };
+        LandsEndConfig {
+            rows: self.get("rows-landsend").unwrap_or(default_rows),
+            ..LandsEndConfig::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -250,5 +277,15 @@ mod tests {
         assert_eq!(cli.get::<usize>("missing"), None);
         assert!(cli.has("quick"));
         assert!(!cli.has("slow"));
+    }
+
+    #[test]
+    fn dataset_config_helpers() {
+        let cli = Cli { args: vec!["--rows-adults".into(), "123".into(), "--quick".into()] };
+        assert_eq!(cli.adults_config().rows, 123);
+        assert_eq!(cli.landsend_config(5_000).rows, 5_000);
+        let full = Cli { args: Vec::new() };
+        assert_eq!(full.adults_config().rows, AdultsConfig::default().rows);
+        assert_eq!(full.landsend_config(5_000).rows, LandsEndConfig::default().rows);
     }
 }

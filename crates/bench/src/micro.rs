@@ -1,0 +1,54 @@
+//! A minimal microbenchmark harness for the `benches/` targets.
+//!
+//! The workspace builds offline, so instead of an external benchmark
+//! framework the bench targets are plain `fn main()` binaries
+//! (`harness = false`) driving this: per case, one warmup call, then N
+//! timed samples, reporting min / median / mean. Run with
+//! `cargo bench -p incognito-bench`; pass `--quick` (after `--`) to cut
+//! the sample count for smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// True when `--quick` was passed on the command line.
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// One named group of benchmark cases.
+pub struct Micro {
+    samples: usize,
+}
+
+impl Micro {
+    /// Start a group: prints the header and picks the default sample count
+    /// (10, or 3 under `--quick`).
+    pub fn group(name: &str) -> Micro {
+        println!("== {name}");
+        Micro { samples: if quick() { 3 } else { 10 } }
+    }
+
+    /// Override the sample count (still reduced under `--quick`).
+    pub fn samples(mut self, n: usize) -> Micro {
+        self.samples = if quick() { n.min(3) } else { n };
+        self
+    }
+
+    /// Run one case: a warmup call, then `samples` timed calls.
+    pub fn case<R>(&self, label: &str, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let started = Instant::now();
+            std::hint::black_box(f());
+            times.push(started.elapsed());
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "  {label:<28} min {min:>12.3?}   median {median:>12.3?}   mean {mean:>12.3?}   (n={})",
+            self.samples
+        );
+    }
+}

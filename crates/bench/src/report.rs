@@ -1,0 +1,211 @@
+//! Machine-readable run reports for the bench binaries.
+//!
+//! Every binary builds a [`BenchReport`] alongside its [`crate::Series`]
+//! CSV output and finishes by writing `results/BENCH_<name>.json`: one
+//! ordered JSON object carrying provenance (tool version, git describe,
+//! timestamp), the binary's workload parameters, and one entry per
+//! algorithm run with per-phase timings, per-iteration counters, and the
+//! table/lattice engine metrics recorded while that run executed.
+//! See EXPERIMENTS.md for the regeneration workflow.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use incognito_core::{AnonymizationResult, SearchStats};
+use incognito_obs::report::snapshot_to_json;
+use incognito_obs::{Json, MetricsSnapshot, RunReport};
+
+/// Builder for one `BENCH_<name>.json` report, shared by all bench bins.
+///
+/// Constructing it enables global observation (`incognito_obs`), so the
+/// engine probes are live for everything the binary subsequently runs;
+/// [`BenchReport::record_run`] attributes the metrics recorded since the
+/// previous call to the run being recorded (snapshot diffing, so unrelated
+/// earlier activity is excluded).
+pub struct BenchReport {
+    report: RunReport,
+    runs: Vec<Json>,
+    last: MetricsSnapshot,
+}
+
+impl BenchReport {
+    /// Start a report for the binary `name` (the file stem of
+    /// `BENCH_<name>.json`). Enables observation and stamps provenance.
+    pub fn new(name: &str) -> BenchReport {
+        incognito_obs::set_enabled(true);
+        let mut report = RunReport::new(name);
+        report.set_provenance(env!("CARGO_PKG_VERSION"));
+        BenchReport { report, runs: Vec::new(), last: incognito_obs::snapshot() }
+    }
+
+    /// Set a top-level field (workload parameters: rows, QI description…).
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut BenchReport {
+        self.report.set(key, value);
+        self
+    }
+
+    /// Record one completed algorithm run: its identity (`label`,
+    /// `dataset`, `k`, `qi_arity`), end-to-end wall-clock, the search
+    /// statistics (per-phase timings and per-iteration counters), and the
+    /// engine metrics recorded since the last `record_run` call.
+    pub fn record_run(
+        &mut self,
+        label: &str,
+        dataset: &str,
+        k: u64,
+        qi_arity: usize,
+        result: &AnonymizationResult,
+        wall: Duration,
+    ) -> &mut BenchReport {
+        let now = incognito_obs::snapshot();
+        let delta = now.diff(&self.last);
+        self.last = now;
+
+        let stats = result.stats();
+        let mut run = Json::obj();
+        run.set("label", label);
+        run.set("dataset", dataset);
+        run.set("k", k);
+        run.set("qi_arity", qi_arity);
+        run.set("wall_secs", wall.as_secs_f64());
+        run.set("generalizations", result.len());
+        match result.minimal_height() {
+            Some(h) => run.set("minimal_height", u64::from(h)),
+            None => run.set("minimal_height", Json::Null),
+        };
+        run.set("stats", stats_json(stats));
+        run.set("timings", timings_json(stats));
+        run.set("iterations", iterations_json(stats));
+        run.set("metrics", snapshot_to_json(&delta));
+        self.runs.push(run);
+        self
+    }
+
+    /// Record one measurement that did not come from an anonymization run
+    /// (e.g. the footnote-2 distance-matrix probe). `fields` supplies the
+    /// measurement's identity and numbers; the engine metrics recorded
+    /// since the previous record call are attached as `metrics`.
+    pub fn record_point(&mut self, label: &str, mut fields: Json) -> &mut BenchReport {
+        let now = incognito_obs::snapshot();
+        let delta = now.diff(&self.last);
+        self.last = now;
+
+        let mut run = Json::obj();
+        run.set("label", label);
+        if let Json::Obj(pairs) = &mut fields {
+            for (k, v) in pairs.drain(..) {
+                run.set(&k, v);
+            }
+        }
+        run.set("metrics", snapshot_to_json(&delta));
+        self.runs.push(run);
+        self
+    }
+
+    /// Write `results/BENCH_<name>.json` and return its path. Failures are
+    /// reported to stderr, never fatal — the CSVs are the primary output.
+    pub fn finish(mut self) -> PathBuf {
+        let runs = std::mem::take(&mut self.runs);
+        self.report.set("runs", Json::Arr(runs));
+        let path = crate::results_dir().join(format!("BENCH_{}.json", self.report.name()));
+        match self.report.write_to(&path) {
+            Ok(_) => println!("(report written to {})", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+        path
+    }
+}
+
+/// The aggregate counters of [`SearchStats`] as an ordered JSON object.
+fn stats_json(s: &SearchStats) -> Json {
+    let mut o = Json::obj();
+    o.set("nodes_checked", s.nodes_checked());
+    o.set("nodes_marked", s.nodes_marked());
+    o.set("candidates", s.candidates());
+    o.set("freq_from_scan", s.freq_from_scan);
+    o.set("freq_from_rollup", s.freq_from_rollup);
+    o.set("freq_from_projection", s.freq_from_projection);
+    o.set("table_scans", s.table_scans);
+    o
+}
+
+/// The per-phase wall-clock breakdown as fractional seconds.
+fn timings_json(s: &SearchStats) -> Json {
+    let t = &s.timings;
+    let mut o = Json::obj();
+    o.set("total_secs", t.total.as_secs_f64());
+    match t.cube_build {
+        Some(d) => o.set("cube_build_secs", d.as_secs_f64()),
+        None => o.set("cube_build_secs", Json::Null),
+    };
+    o.set("scan_secs", t.scan.as_secs_f64());
+    o.set("rollup_secs", t.rollup.as_secs_f64());
+    o.set("candidate_gen_secs", t.candidate_gen.as_secs_f64());
+    o
+}
+
+/// One JSON object per subset-size iteration, including its wall-clock.
+fn iterations_json(s: &SearchStats) -> Json {
+    let arr: Vec<Json> = s
+        .iterations
+        .iter()
+        .map(|it| {
+            let mut o = Json::obj();
+            o.set("arity", it.arity);
+            o.set("candidates", it.candidates);
+            o.set("edges", it.edges);
+            o.set("nodes_checked", it.nodes_checked);
+            o.set("nodes_marked", it.nodes_marked);
+            o.set("survivors", it.survivors);
+            o.set("wall_secs", it.wall.as_secs_f64());
+            o
+        })
+        .collect();
+    Json::Arr(arr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algo;
+    use incognito_data::patients;
+
+    #[test]
+    fn report_records_runs_with_timings_and_metrics() {
+        let t = patients();
+        let mut rep = BenchReport::new("unit_report");
+        rep.set("rows", t.num_rows());
+        let (result, wall) = Algo::BasicIncognito.run(&t, &[0, 1, 2], 2);
+        rep.record_run("Basic Incognito", "patients", 2, 3, &result, wall);
+        let (result, wall) = Algo::CubeIncognito.run(&t, &[0, 1, 2], 2);
+        rep.record_run("Cube Incognito", "patients", 2, 3, &result, wall);
+
+        let json = rep.report.to_json().clone();
+        let runs_so_far = rep.runs.len();
+        assert_eq!(runs_so_far, 2);
+        assert_eq!(json.get("name").and_then(Json::as_str), Some("unit_report"));
+
+        let basic = &rep.runs[0];
+        assert_eq!(basic.get("label").and_then(Json::as_str), Some("Basic Incognito"));
+        assert!(basic.get("wall_secs").is_some());
+        let iters = basic.get("iterations").and_then(Json::as_arr).unwrap();
+        assert_eq!(iters.len(), 3);
+        assert!(iters[0].get("wall_secs").is_some());
+        // The engine probes were live: the Basic run scanned the table.
+        let metrics = basic.get("metrics").unwrap();
+        assert!(metrics.get("table.scan.count").and_then(Json::as_int).unwrap_or(0) > 0);
+
+        // Cube run carries the cube-build phase; Basic does not.
+        let basic_cb = basic.get("timings").unwrap().get("cube_build_secs").unwrap();
+        assert!(matches!(basic_cb, Json::Null));
+        let cube_cb = rep.runs[1].get("timings").unwrap().get("cube_build_secs").unwrap();
+        assert!(!matches!(cube_cb, Json::Null));
+
+        // finish() writes a parseable file.
+        let path = rep.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("runs").and_then(Json::as_arr).unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

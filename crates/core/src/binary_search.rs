@@ -32,7 +32,9 @@ pub fn samarati_binary_search(
 ) -> Result<AnonymizationResult, AlgoError> {
     let schema = table.schema().clone();
     let qi = validate_qi(&schema, qi, cfg.k)?;
+    let search_start = std::time::Instant::now();
     let lattice = CandidateGraph::full_lattice(&schema, &qi);
+    let lattice_build = search_start.elapsed();
 
     let max_height: u32 =
         qi.iter().map(|&a| schema.hierarchy(a).height() as u32).sum();
@@ -43,6 +45,7 @@ pub fn samarati_binary_search(
     }
 
     let mut stats = SearchStats::default();
+    stats.timings.candidate_gen = lattice_build;
     let mut it_stats = IterationStats {
         arity: qi.len(),
         candidates: lattice.num_nodes(),
@@ -54,7 +57,9 @@ pub fn samarati_binary_search(
     let probe = |h: u32, stats: &mut SearchStats, it: &mut IterationStats| -> Result<Vec<u32>, AlgoError> {
         let mut hits = Vec::new();
         for &id in &by_height[h as usize] {
+            let t0 = std::time::Instant::now();
             let freq = cfg.scan(table, &lattice.node(id).to_group_spec()?)?;
+            stats.timings.scan += t0.elapsed();
             stats.freq_from_scan += 1;
             stats.table_scans += 1;
             it.nodes_checked += 1;
@@ -89,6 +94,8 @@ pub fn samarati_binary_search(
     }
 
     it_stats.survivors = hits.len();
+    it_stats.wall = search_start.elapsed();
+    stats.timings.total = search_start.elapsed();
     stats.push_iteration(it_stats);
     let generalizations: Vec<Generalization> = hits
         .into_iter()

@@ -29,10 +29,12 @@ pub fn bottom_up_search(
 ) -> Result<AnonymizationResult, AlgoError> {
     let schema = table.schema().clone();
     let qi = validate_qi(&schema, qi, cfg.k)?;
+    let search_start = std::time::Instant::now();
     let lattice = CandidateGraph::full_lattice(&schema, &qi);
     let num = lattice.num_nodes();
 
     let mut stats = SearchStats::default();
+    stats.timings.candidate_gen = search_start.elapsed();
     let mut it_stats = IterationStats {
         arity: qi.len(),
         candidates: num,
@@ -66,18 +68,27 @@ pub fn bottom_up_search(
             match in_adj[node as usize].iter().find_map(|&p| cache.get(&p)) {
                 Some(pfreq) => {
                     stats.freq_from_rollup += 1;
-                    pfreq.rollup(&schema, &lattice.node(node).levels())?
+                    let t0 = std::time::Instant::now();
+                    let f = pfreq.rollup(&schema, &lattice.node(node).levels())?;
+                    stats.timings.rollup += t0.elapsed();
+                    f
                 }
                 None => {
                     stats.freq_from_scan += 1;
                     stats.table_scans += 1;
-                    cfg.scan(table, &spec)?
+                    let t0 = std::time::Instant::now();
+                    let f = cfg.scan(table, &spec)?;
+                    stats.timings.scan += t0.elapsed();
+                    f
                 }
             }
         } else {
             stats.freq_from_scan += 1;
             stats.table_scans += 1;
-            cfg.scan(table, &spec)?
+            let t0 = std::time::Instant::now();
+            let f = cfg.scan(table, &spec)?;
+            stats.timings.scan += t0.elapsed();
+            f
         };
         it_stats.nodes_checked += 1;
         anonymous[node as usize] = cfg.passes(&freq);
@@ -102,6 +113,8 @@ pub fn bottom_up_search(
     }
 
     it_stats.survivors = anonymous.iter().filter(|&&a| a).count();
+    it_stats.wall = search_start.elapsed();
+    stats.timings.total = search_start.elapsed();
     stats.push_iteration(it_stats);
 
     let generalizations: Vec<Generalization> = anonymous

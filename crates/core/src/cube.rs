@@ -94,9 +94,10 @@ impl Cube {
 }
 
 /// Cube Incognito: build the cube, then run the Incognito search against it.
-/// The returned stats carry the cube build time (`stats().cube_build`) and
-/// count cube-answered root frequency sets as rollups, matching how §4.2.3
-/// splits "cube build time" from "anonymization time".
+/// The returned stats carry the cube build time
+/// (`stats().timings.cube_build`) and count cube-answered root frequency
+/// sets as rollups, matching how §4.2.3 splits "cube build time" from
+/// "anonymization time".
 pub fn cube_incognito(
     table: &Table,
     qi: &[usize],
@@ -127,7 +128,7 @@ pub fn anonymize_with_cube(
 ) -> Result<AnonymizationResult, AlgoError> {
     let mut result = incognito_impl(table, &cube.qi, cfg, sink, AltSource::Cube(&cube.freq))?;
     let stats = result.stats_mut();
-    stats.cube_build = Some(cube.build_time);
+    stats.timings.cube_build = Some(cube.build_time);
     stats.freq_from_projection = cube.projections;
     // The single scan that seeded the cube.
     stats.table_scans += 1;
@@ -182,7 +183,11 @@ mod tests {
         let t = patients();
         let r = cube_incognito(&t, &[0, 1, 2], &Config::new(2)).unwrap();
         assert_eq!(r.stats().table_scans, 1);
-        assert!(r.stats().cube_build.is_some());
+        assert!(r.stats().timings.cube_build.is_some());
+        #[allow(deprecated)]
+        {
+            assert_eq!(r.stats().cube_build(), r.stats().timings.cube_build);
+        }
         assert_eq!(r.stats().freq_from_projection, 6);
         // Basic scans once per root family instead.
         let basic = incognito(&t, &[0, 1, 2], &Config::new(2)).unwrap();

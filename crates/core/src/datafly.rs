@@ -26,12 +26,15 @@ pub fn datafly(table: &Table, qi: &[usize], cfg: &Config) -> Result<Anonymizatio
     let mut levels: Vec<LevelNo> = vec![0; qi.len()];
     let heights: Vec<LevelNo> = qi.iter().map(|&a| schema.hierarchy(a).height()).collect();
 
+    let search_start = std::time::Instant::now();
     let mut stats = SearchStats::default();
     let mut it_stats = IterationStats { arity: qi.len(), ..IterationStats::default() };
 
     loop {
         let spec = GroupSpec::new(qi.iter().copied().zip(levels.iter().copied()).collect())?;
+        let t0 = std::time::Instant::now();
         let freq = cfg.scan(table, &spec)?;
+        stats.timings.scan += t0.elapsed();
         stats.freq_from_scan += 1;
         stats.table_scans += 1;
         it_stats.nodes_checked += 1;
@@ -60,6 +63,8 @@ pub fn datafly(table: &Table, qi: &[usize], cfg: &Config) -> Result<Anonymizatio
     }
 
     it_stats.survivors = 1;
+    it_stats.wall = search_start.elapsed();
+    stats.timings.total = search_start.elapsed();
     stats.push_iteration(it_stats);
     Ok(AnonymizationResult::new(
         qi,

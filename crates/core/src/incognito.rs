@@ -2,6 +2,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use incognito_table::fxhash::FxHashMap;
 use incognito_table::{FrequencySet, Table};
@@ -82,11 +83,13 @@ pub(crate) fn incognito_impl(
     let qi_pos: FxHashMap<usize, usize> =
         qi.iter().enumerate().map(|(p, &a)| (a, p)).collect();
 
+    let search_start = Instant::now();
     let mut stats = SearchStats::default();
     let mut graph = CandidateGraph::initial(&schema, &qi);
     let mut final_alive: Vec<bool> = Vec::new();
 
     for i in 1..=n {
+        let iter_start = Instant::now();
         sink(TraceEvent::IterationStart {
             arity: i,
             candidates: graph.num_nodes(),
@@ -128,7 +131,9 @@ pub(crate) fn incognito_impl(
                     continue; // a lone root scans directly; no sharing to win
                 }
                 let glb = graph.family_glb(&fam_roots).expect("same family");
+                let scan_start = Instant::now();
                 let freq = cfg.scan(table, &glb.to_group_spec()?)?;
+                stats.timings.scan += scan_start.elapsed();
                 stats.freq_from_scan += 1;
                 stats.table_scans += 1;
                 superroot_freq.insert(attrs, freq);
@@ -202,7 +207,10 @@ pub(crate) fn incognito_impl(
                 if let Some((_pid, pfreq)) = parent {
                     let target: Vec<u8> = graph.node(node).levels();
                     stats.freq_from_rollup += 1;
-                    (pfreq.rollup(&schema, &target)?, CheckSource::Rollup)
+                    let t0 = Instant::now();
+                    let f = pfreq.rollup(&schema, &target)?;
+                    stats.timings.rollup += t0.elapsed();
+                    (f, CheckSource::Rollup)
                 } else {
                     match &mut alt {
                         AltSource::Cube(cube) => {
@@ -212,21 +220,33 @@ pub(crate) fn incognito_impl(
                             let zero = cube.get(&mask).expect("cube covers every QI subset");
                             let target: Vec<u8> = graph.node(node).levels();
                             stats.freq_from_rollup += 1;
-                            (zero.rollup(&schema, &target)?, CheckSource::Cube)
+                            let t0 = Instant::now();
+                            let f = zero.rollup(&schema, &target)?;
+                            stats.timings.rollup += t0.elapsed();
+                            (f, CheckSource::Cube)
                         }
                         AltSource::Store(store) => {
                             stats.freq_from_rollup += 1;
-                            (store.frequency_set(&spec)?, CheckSource::Cube)
+                            let t0 = Instant::now();
+                            let f = store.frequency_set(&spec)?;
+                            stats.timings.rollup += t0.elapsed();
+                            (f, CheckSource::Cube)
                         }
                         AltSource::None => {
                             if let Some(sr) = superroot_freq.get(&graph.node(node).attr_set()) {
                                 let target: Vec<u8> = graph.node(node).levels();
                                 stats.freq_from_rollup += 1;
-                                (sr.rollup(&schema, &target)?, CheckSource::SuperRoot)
+                                let t0 = Instant::now();
+                                let f = sr.rollup(&schema, &target)?;
+                                stats.timings.rollup += t0.elapsed();
+                                (f, CheckSource::SuperRoot)
                             } else {
                                 stats.freq_from_scan += 1;
                                 stats.table_scans += 1;
-                                (cfg.scan(table, &spec)?, CheckSource::TableScan)
+                                let t0 = Instant::now();
+                                let f = cfg.scan(table, &spec)?;
+                                stats.timings.scan += t0.elapsed();
+                                (f, CheckSource::TableScan)
                             }
                         }
                     }
@@ -234,7 +254,10 @@ pub(crate) fn incognito_impl(
             } else {
                 stats.freq_from_scan += 1;
                 stats.table_scans += 1;
-                (cfg.scan(table, &spec)?, CheckSource::TableScan)
+                let t0 = Instant::now();
+                let f = cfg.scan(table, &spec)?;
+                stats.timings.scan += t0.elapsed();
+                (f, CheckSource::TableScan)
             };
 
             let anonymous = cfg.passes(&freq);
@@ -282,15 +305,18 @@ pub(crate) fn incognito_impl(
         }
 
         it_stats.survivors = alive.iter().filter(|&&a| a).count();
-        sink(TraceEvent::IterationEnd { survivors: it_stats.survivors });
-        stats.push_iteration(it_stats);
-
         if i == n {
             final_alive = alive;
         } else {
+            let gen_start = Instant::now();
             graph = generate_next(&graph, &alive, cfg.prune);
+            stats.timings.candidate_gen += gen_start.elapsed();
         }
+        it_stats.wall = iter_start.elapsed();
+        sink(TraceEvent::IterationEnd { survivors: it_stats.survivors });
+        stats.push_iteration(it_stats);
     }
+    stats.timings.total = search_start.elapsed();
 
     let generalizations: Vec<Generalization> = final_alive
         .iter()

@@ -49,7 +49,7 @@ pub mod verify;
 pub use error::AlgoError;
 pub use incognito::incognito;
 pub use result::{AnonymizationResult, Generalization};
-pub use stats::{IterationStats, SearchStats};
+pub use stats::{IterationStats, PhaseTimings, SearchStats};
 
 use incognito_lattice::PruneStrategy;
 

@@ -62,6 +62,7 @@ pub fn muargus_anonymize(
     let heights: Vec<LevelNo> = qi.iter().map(|&a| schema.hierarchy(a).height()).collect();
     let mut levels: Vec<LevelNo> = vec![0; qi.len()];
 
+    let search_start = std::time::Instant::now();
     let mut stats = SearchStats::default();
     let mut it_stats = IterationStats { arity: qi.len(), ..IterationStats::default() };
 
@@ -84,6 +85,8 @@ pub fn muargus_anonymize(
     }
 
     it_stats.survivors = 1;
+    it_stats.wall = search_start.elapsed();
+    stats.timings.total = search_start.elapsed();
     stats.push_iteration(it_stats);
     Ok(AnonymizationResult::new(
         qi,

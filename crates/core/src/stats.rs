@@ -1,3 +1,5 @@
+use std::time::Duration;
+
 /// Counters describing one subset-size iteration of a search.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IterationStats {
@@ -13,11 +15,37 @@ pub struct IterationStats {
     pub nodes_marked: usize,
     /// Nodes found k-anonymous in this iteration (size of `Sᵢ`).
     pub survivors: usize,
+    /// Wall-clock spent in this iteration (checking plus, for Incognito,
+    /// generating the next candidate graph).
+    pub wall: Duration,
+}
+
+/// Wall-clock breakdown of a completed search by phase. The phases are not
+/// exhaustive (bookkeeping between them is unattributed), so the parts sum
+/// to less than `total`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// End-to-end wall-clock of the search itself. For Cube Incognito this
+    /// excludes the cube pre-computation, which is reported separately in
+    /// `cube_build` (matching §4.2.3's build/anonymization split).
+    pub total: Duration,
+    /// Wall-clock spent pre-computing the zero-generalization cube
+    /// (Cube Incognito only; the Figure 12 "cube build time" bar).
+    pub cube_build: Option<Duration>,
+    /// Time spent computing frequency sets by scanning the base table.
+    pub scan: Duration,
+    /// Time spent deriving frequency sets without touching the base table
+    /// (rollups and cube projections).
+    pub rollup: Duration,
+    /// Time spent generating candidate graphs (or building the full
+    /// lattice, for the baselines).
+    pub candidate_gen: Duration,
 }
 
 /// Aggregate search statistics — the quantities behind §4.2 of the paper
 /// (nodes searched, base-table scans saved by super-roots, frequency sets
-/// answered by rollup instead of scans).
+/// answered by rollup instead of scans), plus the per-phase wall-clock
+/// breakdown.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Per-iteration breakdown (one entry per subset size for Incognito;
@@ -32,9 +60,8 @@ pub struct SearchStats {
     pub freq_from_projection: usize,
     /// Full passes over the base table.
     pub table_scans: usize,
-    /// Wall-clock spent pre-computing the zero-generalization cube
-    /// (Cube Incognito only; the Figure 12 "cube build time" bar).
-    pub cube_build: Option<std::time::Duration>,
+    /// Per-phase wall-clock breakdown.
+    pub timings: PhaseTimings,
 }
 
 impl SearchStats {
@@ -52,6 +79,12 @@ impl SearchStats {
     /// Total candidate nodes generated across iterations.
     pub fn candidates(&self) -> usize {
         self.iterations.iter().map(|i| i.candidates).sum()
+    }
+
+    /// Wall-clock spent pre-computing the zero-generalization cube.
+    #[deprecated(since = "0.1.0", note = "use `timings.cube_build` instead")]
+    pub fn cube_build(&self) -> Option<Duration> {
+        self.timings.cube_build
     }
 
     /// Record an iteration.
@@ -74,6 +107,7 @@ mod tests {
             nodes_checked: 4,
             nodes_marked: 1,
             survivors: 5,
+            ..IterationStats::default()
         });
         s.push_iteration(IterationStats {
             arity: 2,
@@ -82,9 +116,19 @@ mod tests {
             nodes_checked: 6,
             nodes_marked: 2,
             survivors: 4,
+            ..IterationStats::default()
         });
         assert_eq!(s.nodes_checked(), 10);
         assert_eq!(s.nodes_marked(), 3);
         assert_eq!(s.candidates(), 13);
+    }
+
+    #[test]
+    fn deprecated_cube_build_accessor_reads_timings() {
+        let mut s = SearchStats::default();
+        s.timings.cube_build = Some(Duration::from_millis(7));
+        #[allow(deprecated)]
+        let got = s.cube_build();
+        assert_eq!(got, Some(Duration::from_millis(7)));
     }
 }

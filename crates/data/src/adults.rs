@@ -23,9 +23,8 @@
 use std::sync::Arc;
 
 use incognito_hierarchy::builders::{self, TaxonomyNode};
+use incognito_obs::Rng;
 use incognito_table::{Attribute, Schema, Table};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Generator configuration.
 #[derive(Debug, Clone)]
@@ -50,7 +49,7 @@ pub fn adults_default() -> Table {
 /// Generate the synthetic Adults table.
 pub fn adults(cfg: &AdultsConfig) -> Table {
     let schema = adults_schema();
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
 
     let mut cols: Vec<Vec<u32>> = vec![Vec::with_capacity(cfg.rows); schema.arity()];
     let age_sampler = Sampler::new(&age_weights());
@@ -359,9 +358,9 @@ impl Sampler {
     }
 
     #[inline]
-    pub(crate) fn sample(&self, rng: &mut SmallRng) -> usize {
+    pub(crate) fn sample(&self, rng: &mut Rng) -> usize {
         let total = *self.cumulative.last().expect("nonempty");
-        let x: f64 = rng.gen_range(0.0..total);
+        let x: f64 = rng.range_f64(0.0, total);
         self.cumulative.partition_point(|&c| c <= x)
     }
 }
@@ -428,7 +427,7 @@ mod tests {
     #[test]
     fn sampler_respects_weights() {
         let s = Sampler::new(&[90.0, 10.0]);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let hits = (0..10_000).filter(|_| s.sample(&mut rng) == 0).count();
         assert!((8_500..9_500).contains(&hits), "got {hits}");
         let z = Sampler::zipf(5, 1.0);

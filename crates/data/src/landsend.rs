@@ -22,9 +22,8 @@
 use std::sync::Arc;
 
 use incognito_hierarchy::builders;
+use incognito_obs::Rng;
 use incognito_table::{Attribute, Schema, Table};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use crate::adults::Sampler;
 
@@ -51,7 +50,7 @@ pub fn lands_end_default() -> Table {
 /// Generate the synthetic Lands End table.
 pub fn lands_end(cfg: &LandsEndConfig) -> Table {
     let schema = lands_end_schema();
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
 
     let zip = Sampler::zipf(31_953, 0.6);
     let date = Sampler::zipf(320, 0.2);

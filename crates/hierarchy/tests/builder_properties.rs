@@ -1,10 +1,15 @@
 //! Property tests for the hierarchy builders: whatever the input, a built
 //! hierarchy satisfies the structural laws the rest of the system assumes
 //! (γ⁺ composition, nesting, onto-ness, monotone level sizes).
+//!
+//! Inputs are generated from the workspace's seeded PRNG
+//! ([`incognito_obs::Rng`]) so every run checks the same case set —
+//! failures reproduce by case number.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 use incognito_hierarchy::{builders, Hierarchy};
+use incognito_obs::Rng;
 
 /// Structural laws every hierarchy must satisfy.
 fn check_laws(h: &Hierarchy) {
@@ -41,91 +46,118 @@ fn check_laws(h: &Hierarchy) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// A random set of `1..max_len` distinct values drawn from `draw`.
+fn random_set<T: Ord>(rng: &mut Rng, max_len: usize, mut draw: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+    let target = rng.range_usize(1, max_len);
+    let mut set = BTreeSet::new();
+    // Domains are much larger than max_len, so this converges quickly.
+    while set.len() < target {
+        set.insert(draw(rng));
+    }
+    set.into_iter().collect()
+}
 
-    #[test]
-    fn ranges_builder_laws(
-        values in proptest::collection::btree_set(-500i64..500, 1..40),
-        base in 2i64..5,
-        depth in 1usize..4,
-        suppress in any::<bool>(),
-    ) {
-        let values: Vec<i64> = values.into_iter().collect();
+#[test]
+fn ranges_builder_laws() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0xB11D_0000 + case);
+        let values = random_set(&mut rng, 40, |r| r.range_usize(0, 1000) as i64 - 500);
+        let base = rng.range_usize(2, 5) as i64;
+        let depth = rng.range_usize(1, 4);
+        let suppress = rng.gen_bool(0.5);
+
         let widths: Vec<i64> = (1..=depth as u32).map(|d| base.pow(d)).collect();
         let h = builders::ranges("X", &values, &widths, suppress).unwrap();
-        prop_assert_eq!(h.ground_size(), values.len());
+        assert_eq!(h.ground_size(), values.len(), "case {case}");
         let expected_height = depth as u8 + u8::from(suppress);
-        prop_assert_eq!(h.height(), expected_height);
+        assert_eq!(h.height(), expected_height, "case {case}");
         check_laws(&h);
         // Ground dictionary is numerically sorted.
         let mut sorted = values.clone();
         sorted.sort_unstable();
         for (i, v) in sorted.iter().enumerate() {
-            prop_assert_eq!(h.label(0, i as u32), &v.to_string());
+            assert_eq!(h.label(0, i as u32), v.to_string(), "case {case}");
         }
         // Interval labels nest: same level-1 bucket ⇒ same level-2 bucket.
         if depth >= 2 {
             for a in 0..values.len() as u32 {
                 for b in 0..values.len() as u32 {
                     if h.generalize(a, 1) == h.generalize(b, 1) {
-                        prop_assert_eq!(h.generalize(a, 2), h.generalize(b, 2));
+                        assert_eq!(h.generalize(a, 2), h.generalize(b, 2), "case {case}");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn round_digits_builder_laws(
-        codes in proptest::collection::btree_set(0u32..100_000, 1..60),
-        steps in 1usize..=5,
-    ) {
+#[test]
+fn round_digits_builder_laws() {
+    for case in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0xD161_0000 + case);
+        let codes = random_set(&mut rng, 60, |r| r.below(100_000) as u32);
+        let steps = rng.range_usize(1, 6);
+
         let labels: Vec<String> = codes.iter().map(|c| format!("{c:05}")).collect();
         let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
         let h = builders::round_digits("Zip", &refs, steps).unwrap();
-        prop_assert_eq!(h.height(), steps as u8);
+        assert_eq!(h.height(), steps as u8, "case {case}");
         check_laws(&h);
         // The level-ℓ label of a value is its prefix plus ℓ stars.
         for (i, label) in labels.iter().enumerate() {
             for l in 1..=steps {
                 let expect = format!("{}{}", &label[..5 - l], "*".repeat(l));
-                prop_assert_eq!(h.label(l as u8, h.generalize(i as u32, l as u8)), &expect);
+                assert_eq!(h.label(l as u8, h.generalize(i as u32, l as u8)), expect, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn suppression_builder_laws(n in 1usize..50) {
+#[test]
+fn suppression_builder_laws() {
+    // The input space is one small integer — check it exhaustively.
+    for n in 1usize..50 {
         let labels: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
         let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
         let h = builders::suppression("S", &refs).unwrap();
-        prop_assert_eq!(h.height(), 1);
-        prop_assert_eq!(h.level_size(1), 1);
+        assert_eq!(h.height(), 1);
+        assert_eq!(h.level_size(1), 1);
         check_laws(&h);
     }
+}
 
-    /// Random balanced taxonomy trees: build with the given shape, verify
-    /// ground size and laws.
-    #[test]
-    fn taxonomy_builder_laws(shape in proptest::collection::vec(1usize..4, 1..4)) {
-        // shape[d] = children per node at depth d; leaves at depth shape.len().
-        fn grow(shape: &[usize], depth: usize, counter: &mut u32) -> builders::TaxonomyNode {
-            if depth == shape.len() {
-                *counter += 1;
-                return builders::TaxonomyNode::leaf(format!("leaf-{counter}"));
-            }
-            let children = (0..shape[depth])
-                .map(|_| grow(shape, depth + 1, counter))
-                .collect();
+/// Balanced taxonomy trees: build with a given shape, verify ground size
+/// and laws. `shape[d]` = children per node at depth `d`; leaves at depth
+/// `shape.len()`. The shape space (1–3 levels of fan-out 1–3) is small, so
+/// it is enumerated exhaustively.
+#[test]
+fn taxonomy_builder_laws() {
+    fn grow(shape: &[usize], depth: usize, counter: &mut u32) -> builders::TaxonomyNode {
+        if depth == shape.len() {
             *counter += 1;
-            builders::TaxonomyNode::node(format!("n{depth}-{counter}"), children)
+            return builders::TaxonomyNode::leaf(format!("leaf-{counter}"));
         }
+        let children = (0..shape[depth]).map(|_| grow(shape, depth + 1, counter)).collect();
+        *counter += 1;
+        builders::TaxonomyNode::node(format!("n{depth}-{counter}"), children)
+    }
+
+    let mut shapes: Vec<Vec<usize>> = Vec::new();
+    for a in 1..4 {
+        shapes.push(vec![a]);
+        for b in 1..4 {
+            shapes.push(vec![a, b]);
+            for c in 1..4 {
+                shapes.push(vec![a, b, c]);
+            }
+        }
+    }
+    for shape in shapes {
         let mut counter = 0;
         let root = grow(&shape, 0, &mut counter);
         let h = builders::taxonomy("T", root).unwrap();
-        prop_assert_eq!(h.height() as usize, shape.len());
-        prop_assert_eq!(h.ground_size(), shape.iter().product::<usize>());
+        assert_eq!(h.height() as usize, shape.len(), "shape {shape:?}");
+        assert_eq!(h.ground_size(), shape.iter().product::<usize>(), "shape {shape:?}");
         check_laws(&h);
     }
 }

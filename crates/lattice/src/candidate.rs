@@ -66,14 +66,18 @@ pub fn generate_next(
     strategy: PruneStrategy,
 ) -> CandidateGraph {
     assert_eq!(alive.len(), prev.num_nodes(), "aliveness vector must cover all nodes");
+    let _span = incognito_obs::span("lattice.generate.time");
+    incognito_obs::incr("lattice.generate.count");
     let arity = prev.arity() + 1;
 
     // ---- Join phase -------------------------------------------------------
     // Bucket survivors by their first (arity_prev - 1) components; within a
     // bucket, pair p, q with p's last attribute < q's last attribute.
+    let join_span = incognito_obs::span("lattice.generate.join.time");
     let survivors: Vec<NodeId> = (0..prev.num_nodes() as NodeId)
         .filter(|&id| alive[id as usize])
         .collect();
+    incognito_obs::add("lattice.generate.survivors_in", survivors.len() as u64);
     let mut buckets: std::collections::BTreeMap<Vec<(usize, LevelNo)>, Vec<NodeId>> =
         std::collections::BTreeMap::new();
     for &id in &survivors {
@@ -93,6 +97,7 @@ pub fn generate_next(
     };
 
     let mut nodes: Vec<NodeSpec> = Vec::new();
+    let mut pruned = 0u64;
     let mut subset_buf: Vec<(usize, LevelNo)> = Vec::with_capacity(arity - 1);
     for bucket in buckets.values() {
         for (bi, &p) in bucket.iter().enumerate() {
@@ -137,13 +142,21 @@ pub fn generate_next(
                         parent1: Some(parent1),
                         parent2: Some(parent2),
                     });
+                } else {
+                    pruned += 1;
                 }
             }
         }
     }
+    join_span.finish();
+    incognito_obs::add("lattice.generate.pruned", pruned);
+    incognito_obs::add("lattice.generate.candidates_out", nodes.len() as u64);
 
     // ---- Edge generation --------------------------------------------------
+    let edge_span = incognito_obs::span("lattice.generate.edges.time");
     let edges = generate_edges(prev, &nodes);
+    edge_span.finish();
+    incognito_obs::add("lattice.generate.edges_out", edges.len() as u64);
     CandidateGraph::new(arity, nodes, edges)
 }
 

@@ -1,0 +1,87 @@
+//! RAII monotonic-clock timing spans.
+//!
+//! A [`Span`] reads `Instant::now()` when opened and records the elapsed
+//! duration into its timer when dropped. An *inert* span (what
+//! [`crate::span`] hands out while observation is disabled) carries no
+//! timer and never touches the clock, so leaving probes in hot paths is
+//! free in the disabled case.
+
+use std::time::Instant;
+
+use crate::metrics::TimerHandle;
+
+/// A scope timer. Construct via [`crate::span`] (global registry, gated on
+/// the enabled flag) or [`Span::active`] against an explicit timer.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    state: Option<(TimerHandle, Instant)>,
+}
+
+impl Span {
+    /// A live span recording into `timer` when dropped.
+    pub fn active(timer: TimerHandle) -> Span {
+        Span { state: Some((timer, Instant::now())) }
+    }
+
+    /// A span that does nothing — no clock read, nothing recorded.
+    pub fn inert() -> Span {
+        Span { state: None }
+    }
+
+    /// True when this span will record on drop.
+    pub fn is_active(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Record now instead of at end of scope (idempotent; drop becomes a
+    /// no-op afterwards).
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if let Some((timer, started)) = self.state.take() {
+            timer.record(started.elapsed());
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn active_span_records_once_on_drop() {
+        let reg = MetricsRegistry::new();
+        {
+            let s = Span::active(reg.timer("op"));
+            assert!(s.is_active());
+        }
+        assert_eq!(reg.snapshot().timer("op").count, 1);
+    }
+
+    #[test]
+    fn finish_preempts_drop() {
+        let reg = MetricsRegistry::new();
+        let s = Span::active(reg.timer("op"));
+        s.finish();
+        assert_eq!(reg.snapshot().timer("op").count, 1);
+    }
+
+    #[test]
+    fn inert_span_records_nothing() {
+        let reg = MetricsRegistry::new();
+        {
+            let s = Span::inert();
+            assert!(!s.is_active());
+        }
+        assert!(reg.snapshot().is_empty());
+    }
+}

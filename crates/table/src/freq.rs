@@ -163,6 +163,9 @@ pub struct FrequencySet {
 impl FrequencySet {
     /// Compute by scanning `table` (the spec must already be validated).
     pub(crate) fn scan(table: &Table, spec: &GroupSpec) -> FrequencySet {
+        let _span = incognito_obs::span("table.scan.time");
+        incognito_obs::incr("table.scan.count");
+        incognito_obs::add("table.scan.rows", table.num_rows() as u64);
         let schema = table.schema();
         let maps: Vec<&[ValueId]> = spec
             .parts
@@ -193,6 +196,10 @@ impl FrequencySet {
         if threads == 1 || nrows < 2 * threads {
             return FrequencySet::scan(table, spec);
         }
+        let _span = incognito_obs::span("table.scan.time");
+        incognito_obs::incr("table.scan.count");
+        incognito_obs::incr("table.scan.parallel");
+        incognito_obs::add("table.scan.rows", nrows as u64);
         let schema = table.schema();
         let maps: Vec<&[ValueId]> = spec
             .parts
@@ -304,6 +311,7 @@ impl FrequencySet {
     /// `target` (one level per spec part, each ≥ the current level) by
     /// mapping each group through γ and summing counts — no table scan.
     pub fn rollup(&self, schema: &Schema, target: &[LevelNo]) -> Result<FrequencySet, TableError> {
+        let _span = incognito_obs::span("table.rollup.time");
         if target.len() != self.spec.len() {
             return Err(TableError::IncompatibleSpec(format!(
                 "rollup target has {} levels, spec has {}",
@@ -342,6 +350,9 @@ impl FrequencySet {
                 .map(|(&(a, _), &l)| (a, l))
                 .collect(),
         )?;
+        incognito_obs::incr("table.rollup.count");
+        incognito_obs::add("table.rollup.groups_in", self.counts.len() as u64);
+        incognito_obs::add("table.rollup.groups_out", counts.len() as u64);
         Ok(FrequencySet { spec, counts, total: self.total })
     }
 
@@ -350,6 +361,7 @@ impl FrequencySet {
     /// Used by Cube Incognito to derive subset frequency sets from wider
     /// ones, data-cube style.
     pub fn project(&self, keep: &[usize]) -> Result<FrequencySet, TableError> {
+        let _span = incognito_obs::span("table.project.time");
         let mut prev: Option<usize> = None;
         for &p in keep {
             if p >= self.spec.len() || prev.is_some_and(|q| q >= p) {
@@ -370,6 +382,9 @@ impl FrequencySet {
             *counts.entry(out).or_insert(0) += c;
         }
         let spec = GroupSpec::new(keep.iter().map(|&p| self.spec.parts[p]).collect())?;
+        incognito_obs::incr("table.project.count");
+        incognito_obs::add("table.project.groups_in", self.counts.len() as u64);
+        incognito_obs::add("table.project.groups_out", counts.len() as u64);
         Ok(FrequencySet { spec, counts, total: self.total })
     }
 

@@ -52,6 +52,10 @@ impl Table {
                 });
             }
         }
+        incognito_obs::incr("table.build.count");
+        incognito_obs::add("table.build.rows", nrows as u64);
+        let dict: usize = (0..schema.arity()).map(|i| schema.hierarchy(i).ground_size()).sum();
+        incognito_obs::add("table.build.dict_values", dict as u64);
         Ok(Table { schema, columns })
     }
 
@@ -175,6 +179,7 @@ impl Table {
         levels: &[LevelNo],
         suppress: Option<(u64, &[usize])>,
     ) -> Result<(Table, u64), TableError> {
+        let _span = incognito_obs::span("table.generalize.time");
         if levels.len() != self.schema.arity() {
             return Err(TableError::RowArity {
                 expected: self.schema.arity(),
@@ -245,6 +250,8 @@ impl Table {
         let suppressed = self.num_rows() as u64
             - out_cols.first().map_or(0, |c| c.len() as u64);
         let table = Table::from_columns(out_schema, out_cols)?;
+        incognito_obs::incr("table.generalize.count");
+        incognito_obs::add("table.generalize.rows_suppressed", suppressed);
         Ok((table, suppressed))
     }
 }

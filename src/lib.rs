@@ -10,7 +10,8 @@
 //! * [`models`] — the Section 5 taxonomy of recoding models;
 //! * [`data`] — dataset generators (Patients, Adults, Lands End) and CSV IO;
 //! * [`rel`] — the mini relational engine (the paper ran on SQL/DB2);
-//! * [`star`] — the star schema (Figure 4) and the SQL-path Incognito.
+//! * [`star`] — the star schema (Figure 4) and the SQL-path Incognito;
+//! * [`obs`] — observability: metrics, spans, run reports, seeded PRNG.
 
 #![forbid(unsafe_code)]
 
@@ -19,6 +20,7 @@ pub use incognito_data as data;
 pub use incognito_hierarchy as hierarchy;
 pub use incognito_lattice as lattice;
 pub use incognito_models as models;
+pub use incognito_obs as obs;
 pub use incognito_rel as rel;
 pub use incognito_star as star;
 pub use incognito_table as table;

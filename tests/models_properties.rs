@@ -2,8 +2,9 @@
 //! tables with random hierarchies, every anonymizer's output is
 //! k-anonymous (after its suppression, where the model allows it) and
 //! accounts for every source row.
-
-use proptest::prelude::*;
+//!
+//! Tables are drawn from the workspace's seeded PRNG so every run checks
+//! the same case set.
 
 use incognito::hierarchy::Hierarchy;
 use incognito::models::local::cell_generalization_anonymize;
@@ -11,50 +12,46 @@ use incognito::models::mondrian::mondrian_anonymize;
 use incognito::models::partition1d::ordered_partition_anonymize;
 use incognito::models::subtree::{full_subtree_anonymize, SubtreeMode};
 use incognito::models::tds::tds_anonymize;
+use incognito::obs::Rng;
 use incognito::table::{Attribute, Schema, Table};
 
 /// Random balanced hierarchy: ground size 2–6, height 1–2 plus suppression.
-fn arb_hierarchy(name: &'static str) -> impl Strategy<Value = Hierarchy> {
-    (2usize..7).prop_flat_map(move |ground| {
-        proptest::collection::vec(0u32..((ground / 2).max(1)) as u32, ground).prop_map(
-            move |mut map| {
-                let mid = (ground / 2).max(1);
-                for (i, slot) in map.iter_mut().enumerate().take(mid) {
-                    *slot = i as u32; // force onto
-                }
-                let levels = vec![
-                    (0..ground).map(|i| format!("{name}{i}")).collect::<Vec<_>>(),
-                    (0..mid).map(|i| format!("{name}m{i}")).collect(),
-                    vec![format!("{name}*")],
-                ];
-                Hierarchy::from_levels(name, levels, vec![map, vec![0; mid]])
-                    .expect("constructed valid")
-            },
-        )
-    })
+fn random_hierarchy(rng: &mut Rng, name: &'static str) -> Hierarchy {
+    let ground = rng.range_usize(2, 7);
+    let mid = (ground / 2).max(1);
+    let mut map: Vec<u32> = (0..ground).map(|_| rng.below(mid as u64) as u32).collect();
+    for (i, slot) in map.iter_mut().enumerate().take(mid) {
+        *slot = i as u32; // force onto
+    }
+    let levels = vec![
+        (0..ground).map(|i| format!("{name}{i}")).collect::<Vec<_>>(),
+        (0..mid).map(|i| format!("{name}m{i}")).collect(),
+        vec![format!("{name}*")],
+    ];
+    Hierarchy::from_levels(name, levels, vec![map, vec![0; mid]]).expect("constructed valid")
 }
 
-fn arb_table() -> impl Strategy<Value = Table> {
-    (arb_hierarchy("x"), arb_hierarchy("y")).prop_flat_map(|(hx, hy)| {
-        let (gx, gy) = (hx.ground_size(), hy.ground_size());
-        let schema = Schema::new(vec![Attribute::new("x", hx), Attribute::new("y", hy)])
-            .expect("distinct names");
-        proptest::collection::vec((0..gx as u32, 0..gy as u32), 1..60).prop_map(move |rows| {
-            let mut cols = vec![Vec::new(), Vec::new()];
-            for (a, b) in rows {
-                cols[0].push(a);
-                cols[1].push(b);
-            }
-            Table::from_columns(schema.clone(), cols).expect("ids in range")
-        })
-    })
+fn random_table(rng: &mut Rng) -> Table {
+    let hx = random_hierarchy(rng, "x");
+    let hy = random_hierarchy(rng, "y");
+    let (gx, gy) = (hx.ground_size(), hy.ground_size());
+    let schema = Schema::new(vec![Attribute::new("x", hx), Attribute::new("y", hy)])
+        .expect("distinct names");
+    let rows = rng.range_usize(1, 60);
+    let mut cols = vec![Vec::new(), Vec::new()];
+    for _ in 0..rows {
+        cols[0].push(rng.below(gx as u64) as u32);
+        cols[1].push(rng.below(gy as u64) as u32);
+    }
+    Table::from_columns(schema, cols).expect("ids in range")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_models_produce_valid_releases(table in arb_table(), k in 1u64..8) {
+#[test]
+fn all_models_produce_valid_releases() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x40DE_0000 + case);
+        let table = random_table(&mut rng);
+        let k = 1 + rng.below(7);
         let qi = [0usize, 1];
         let n = table.num_rows() as u64;
         type Anonymizer = fn(&Table, &[usize], u64)
@@ -73,27 +70,30 @@ proptest! {
         ];
         for (name, run) in runs {
             let r = run(&table, &qi, k).expect("anonymizer runs");
-            prop_assert_eq!(
+            assert_eq!(
                 r.view.num_rows() as u64 + r.suppressed,
                 n,
-                "{} must account for all rows", name
+                "case {case}: {name} must account for all rows"
             );
             // Global hierarchy/partition models cannot suppress-as-fallback
             // when |T| ≥ k (full generalization is always available);
             // Mondrian/partition never suppress at all.
             if n >= k {
-                prop_assert!(
+                assert!(
                     r.is_k_anonymous(k),
-                    "{} must be k-anonymous for |T| ≥ k (classes {:?})",
-                    name,
+                    "case {case}: {name} must be k-anonymous for |T| ≥ k (classes {:?})",
                     r.class_sizes
                 );
             }
             let m = r.metrics(k);
-            prop_assert!(m.loss >= -1e-9 && m.loss <= 1.0 + 1e-9, "{name} LM {}", m.loss);
-            prop_assert!(
+            assert!(
+                m.loss >= -1e-9 && m.loss <= 1.0 + 1e-9,
+                "case {case}: {name} LM {}",
+                m.loss
+            );
+            assert!(
                 m.precision >= -1e-9 && m.precision <= 1.0 + 1e-9,
-                "{name} Prec {}",
+                "case {case}: {name} Prec {}",
                 m.precision
             );
         }

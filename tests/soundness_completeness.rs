@@ -3,92 +3,80 @@
 //! generalizations* — plus the three structural properties it rests on
 //! (Generalization, Rollup, Subset), over randomly generated tables and
 //! hierarchies.
-
-use proptest::prelude::*;
+//!
+//! Tables and hierarchies are drawn from the workspace's seeded PRNG
+//! ([`incognito::obs::Rng`]) so every run checks the same case set and
+//! failures reproduce by case number.
 
 use incognito::algo::{
     binary_search::samarati_binary_search, bottom_up::bottom_up_search, cube::cube_incognito,
     incognito as run_incognito, Config,
 };
-use incognito::lattice::PruneStrategy;
 use incognito::hierarchy::Hierarchy;
 use incognito::lattice::CandidateGraph;
+use incognito::lattice::PruneStrategy;
+use incognito::obs::Rng;
 use incognito::table::{Attribute, GroupSpec, Schema, Table};
 
-/// A random generalization hierarchy: `ground` leaf values, random nested
+/// A random generalization hierarchy: 2–7 leaf values, random nested
 /// merges up to a random height, topped with full suppression.
-fn arb_hierarchy(name: &'static str) -> impl Strategy<Value = Hierarchy> {
-    (2usize..8, 1u8..3).prop_flat_map(move |(ground, mid_levels)| {
-        // Random parent maps: at each level, values merge into ~half as
-        // many parents.
-        let mut strat: Vec<BoxedStrategy<Vec<u32>>> = Vec::new();
-        let mut size = ground;
-        for _ in 0..mid_levels {
-            let next = size.div_ceil(2).max(1);
-            strat.push(
-                proptest::collection::vec(0..next as u32, size)
-                    .prop_map(move |mut v| {
-                        // Force γ to be onto: pin the first `next` children.
-                        for (i, slot) in v.iter_mut().enumerate().take(next) {
-                            *slot = i as u32;
-                        }
-                        v
-                    })
-                    .boxed(),
-            );
-            size = next;
+fn random_hierarchy(rng: &mut Rng, name: &'static str) -> Hierarchy {
+    let ground = rng.range_usize(2, 8);
+    let mid_levels = rng.range_usize(1, 3);
+    // Random parent maps: at each level, values merge into ~half as many
+    // parents, with the first `next` children pinned so γ is onto.
+    let mut maps: Vec<Vec<u32>> = Vec::new();
+    let mut sizes = vec![ground];
+    let mut size = ground;
+    for _ in 0..mid_levels {
+        let next = size.div_ceil(2).max(1);
+        let mut map: Vec<u32> = (0..size).map(|_| rng.below(next as u64) as u32).collect();
+        for (i, slot) in map.iter_mut().enumerate().take(next) {
+            *slot = i as u32;
         }
-        let sizes: Vec<usize> = {
-            let mut v = vec![ground];
-            let mut s = ground;
-            for _ in 0..mid_levels {
-                s = s.div_ceil(2).max(1);
-                v.push(s);
-            }
-            v
-        };
-        strat.prop_map(move |maps| {
-            let mut levels: Vec<Vec<String>> = Vec::new();
-            for (l, &sz) in sizes.iter().enumerate() {
-                levels.push((0..sz).map(|i| format!("{name}-L{l}-{i}")).collect());
-            }
-            // Top it with a suppression level unless already singleton.
-            let mut maps = maps;
-            if *sizes.last().expect("nonempty") > 1 {
-                maps.push(vec![0; *sizes.last().expect("nonempty")]);
-                levels.push(vec![format!("{name}-*")]);
-            }
-            Hierarchy::from_levels(name, levels, maps).expect("constructed valid")
-        })
-    })
+        maps.push(map);
+        sizes.push(next);
+        size = next;
+    }
+    let mut levels: Vec<Vec<String>> = Vec::new();
+    for (l, &sz) in sizes.iter().enumerate() {
+        levels.push((0..sz).map(|i| format!("{name}-L{l}-{i}")).collect());
+    }
+    // Top it with a suppression level unless already singleton.
+    if *sizes.last().expect("nonempty") > 1 {
+        maps.push(vec![0; *sizes.last().expect("nonempty")]);
+        levels.push(vec![format!("{name}-*")]);
+    }
+    Hierarchy::from_levels(name, levels, maps).expect("constructed valid")
 }
 
-/// A random 3-attribute table (7 × arbitrary hierarchies would explode the
-/// lattice; 3 keeps brute force honest while covering the multi-attribute
-/// machinery).
-fn arb_table() -> impl Strategy<Value = Table> {
-    (arb_hierarchy("A"), arb_hierarchy("B"), arb_hierarchy("C")).prop_flat_map(|(ha, hb, hc)| {
-        let (ga, gb, gc) = (ha.ground_size(), hb.ground_size(), hc.ground_size());
-        let schema = Schema::new(vec![
-            Attribute::new("A", ha),
-            Attribute::new("B", hb),
-            Attribute::new("C", hc),
-        ])
-        .expect("distinct names");
-        proptest::collection::vec(
-            (0..ga as u32, 0..gb as u32, 0..gc as u32),
-            0..40,
-        )
-        .prop_map(move |rows| {
-            let mut cols = vec![Vec::new(), Vec::new(), Vec::new()];
-            for (a, b, c) in rows {
-                cols[0].push(a);
-                cols[1].push(b);
-                cols[2].push(c);
-            }
-            Table::from_columns(schema.clone(), cols).expect("ids in range")
-        })
-    })
+/// A random 3-attribute table of 0–39 rows (7 × arbitrary hierarchies
+/// would explode the lattice; 3 keeps brute force honest while covering
+/// the multi-attribute machinery).
+fn random_table(rng: &mut Rng) -> Table {
+    let ha = random_hierarchy(rng, "A");
+    let hb = random_hierarchy(rng, "B");
+    let hc = random_hierarchy(rng, "C");
+    let (ga, gb, gc) = (ha.ground_size(), hb.ground_size(), hc.ground_size());
+    let schema = Schema::new(vec![
+        Attribute::new("A", ha),
+        Attribute::new("B", hb),
+        Attribute::new("C", hc),
+    ])
+    .expect("distinct names");
+    let rows = rng.range_usize(0, 40);
+    let mut cols = vec![Vec::new(), Vec::new(), Vec::new()];
+    for _ in 0..rows {
+        cols[0].push(rng.below(ga as u64) as u32);
+        cols[1].push(rng.below(gb as u64) as u32);
+        cols[2].push(rng.below(gc as u64) as u32);
+    }
+    Table::from_columns(schema, cols).expect("ids in range")
+}
+
+/// A random k in 1..6, matching the proptest range the suite started with.
+fn random_k(rng: &mut Rng) -> u64 {
+    1 + rng.below(5)
 }
 
 /// Brute force: test every node of the full lattice directly.
@@ -109,12 +97,13 @@ fn brute_force(table: &Table, qi: &[usize], k: u64) -> Vec<Vec<u8>> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// §3.2: Incognito (all variants) returns exactly the brute-force set.
-    #[test]
-    fn incognito_sound_and_complete(table in arb_table(), k in 1u64..6) {
+/// §3.2: Incognito (all variants) returns exactly the brute-force set.
+#[test]
+fn incognito_sound_and_complete() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0x50D0_0000 + case);
+        let table = random_table(&mut rng);
+        let k = random_k(&mut rng);
         let qi = [0usize, 1, 2];
         let truth = brute_force(&table, &qi, k);
         for cfg in [
@@ -126,25 +115,30 @@ proptest! {
             let r = run_incognito(&table, &qi, &cfg).expect("valid workload");
             let got: Vec<Vec<u8>> =
                 r.generalizations().iter().map(|g| g.levels.clone()).collect();
-            prop_assert_eq!(&got, &truth, "cfg {:?}", cfg);
+            assert_eq!(&got, &truth, "case {case}: cfg {cfg:?}");
         }
         let cube = cube_incognito(&table, &qi, &Config::new(k)).expect("valid workload");
         let got: Vec<Vec<u8>> =
             cube.generalizations().iter().map(|g| g.levels.clone()).collect();
-        prop_assert_eq!(&got, &truth, "cube variant");
+        assert_eq!(&got, &truth, "case {case}: cube variant");
         let bu = bottom_up_search(&table, &qi, &Config::new(k)).expect("valid workload");
         let got: Vec<Vec<u8>> = bu.generalizations().iter().map(|g| g.levels.clone()).collect();
-        prop_assert_eq!(&got, &truth, "bottom-up");
+        assert_eq!(&got, &truth, "case {case}: bottom-up");
     }
+}
 
-    /// Binary search finds exactly the minimal-height members of the truth.
-    #[test]
-    fn binary_search_finds_minimal_height(table in arb_table(), k in 1u64..6) {
+/// Binary search finds exactly the minimal-height members of the truth.
+#[test]
+fn binary_search_finds_minimal_height() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xB14A_0000 + case);
+        let table = random_table(&mut rng);
+        let k = random_k(&mut rng);
         let qi = [0usize, 1, 2];
         let truth = brute_force(&table, &qi, k);
         let result = samarati_binary_search(&table, &qi, &Config::new(k));
         if truth.is_empty() {
-            prop_assert!(result.is_err());
+            assert!(result.is_err(), "case {case}");
         } else {
             let min_h = truth
                 .iter()
@@ -152,18 +146,23 @@ proptest! {
                 .min()
                 .expect("nonempty");
             let r = result.expect("satisfiable");
-            prop_assert_eq!(r.minimal_height(), Some(min_h));
+            assert_eq!(r.minimal_height(), Some(min_h), "case {case}");
             for g in r.generalizations() {
-                prop_assert!(truth.contains(&g.levels));
-                prop_assert_eq!(g.height(), min_h);
+                assert!(truth.contains(&g.levels), "case {case}");
+                assert_eq!(g.height(), min_h, "case {case}");
             }
         }
     }
+}
 
-    /// Generalization Property: k-anonymous at P ⇒ k-anonymous at any
-    /// generalization Q of P.
-    #[test]
-    fn generalization_property(table in arb_table(), k in 1u64..6) {
+/// Generalization Property: k-anonymous at P ⇒ k-anonymous at any
+/// generalization Q of P.
+#[test]
+fn generalization_property() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0x6E4E_0000 + case);
+        let table = random_table(&mut rng);
+        let k = random_k(&mut rng);
         let schema = table.schema().clone();
         let lattice = CandidateGraph::full_lattice(&schema, &[0, 1, 2]);
         for &(s, e) in lattice.edges() {
@@ -174,37 +173,46 @@ proptest! {
                 let fe = table
                     .frequency_set(&lattice.node(e).to_group_spec().expect("valid"))
                     .expect("valid");
-                prop_assert!(fe.is_k_anonymous(k));
+                assert!(fe.is_k_anonymous(k), "case {case}");
             }
         }
     }
+}
 
-    /// Rollup Property: rolling a frequency set up equals rescanning at the
-    /// higher levels.
-    #[test]
-    fn rollup_property(table in arb_table(), lift in proptest::collection::vec(0u8..3, 3)) {
+/// Rollup Property: rolling a frequency set up equals rescanning at the
+/// higher levels.
+#[test]
+fn rollup_property() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0x2011_0000 + case);
+        let table = random_table(&mut rng);
+        let lift: Vec<u8> = (0..3).map(|_| rng.below(3) as u8).collect();
         let schema = table.schema().clone();
         let ground = table
             .frequency_set(&GroupSpec::ground(&[0, 1, 2]).expect("valid"))
             .expect("valid");
-        let target: Vec<u8> = (0..3)
-            .map(|i| lift[i].min(schema.hierarchy(i).height()))
-            .collect();
+        let target: Vec<u8> =
+            (0..3).map(|i| lift[i].min(schema.hierarchy(i).height())).collect();
         let rolled = ground.rollup(&schema, &target).expect("upward");
-        let spec = GroupSpec::new(
-            (0..3).map(|i| (i, target[i])).collect(),
-        ).expect("valid");
+        let spec =
+            GroupSpec::new((0..3).map(|i| (i, target[i])).collect()).expect("valid");
         let scanned = table.frequency_set(&spec).expect("valid");
-        prop_assert_eq!(
+        assert_eq!(
             rolled.to_labeled_rows(&schema),
-            scanned.to_labeled_rows(&schema)
+            scanned.to_labeled_rows(&schema),
+            "case {case}"
         );
     }
+}
 
-    /// Subset Property: k-anonymous w.r.t. Q ⇒ k-anonymous w.r.t. P ⊆ Q;
-    /// equivalently projections of frequency sets match narrow scans.
-    #[test]
-    fn subset_property(table in arb_table(), k in 1u64..6) {
+/// Subset Property: k-anonymous w.r.t. Q ⇒ k-anonymous w.r.t. P ⊆ Q;
+/// equivalently projections of frequency sets match narrow scans.
+#[test]
+fn subset_property() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0x5B5E_0000 + case);
+        let table = random_table(&mut rng);
+        let k = random_k(&mut rng);
         let schema = table.schema().clone();
         let wide = table
             .frequency_set(&GroupSpec::ground(&[0, 1, 2]).expect("valid"))
@@ -215,37 +223,40 @@ proptest! {
             let scan = table
                 .frequency_set(&GroupSpec::ground(&attrs).expect("valid"))
                 .expect("valid");
-            prop_assert_eq!(
+            assert_eq!(
                 proj.to_labeled_rows(&schema),
-                scan.to_labeled_rows(&schema)
+                scan.to_labeled_rows(&schema),
+                "case {case}"
             );
             if wide.is_k_anonymous(k) {
-                prop_assert!(proj.is_k_anonymous(k));
+                assert!(proj.is_k_anonymous(k), "case {case}");
             }
         }
     }
+}
 
-    /// Every generalization Incognito reports materializes to a view that
-    /// really is k-anonymous; the bottom lattice node is reported iff the
-    /// raw table is k-anonymous.
-    #[test]
-    fn reported_generalizations_materialize_k_anonymous(
-        table in arb_table(),
-        k in 1u64..6,
-    ) {
+/// Every generalization Incognito reports materializes to a view that
+/// really is k-anonymous; the bottom lattice node is reported iff the
+/// raw table is k-anonymous.
+#[test]
+fn reported_generalizations_materialize_k_anonymous() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0x3A7E_0000 + case);
+        let table = random_table(&mut rng);
+        let k = random_k(&mut rng);
         let qi = [0usize, 1, 2];
         let r = run_incognito(&table, &qi, &Config::new(k)).expect("valid workload");
         for g in r.generalizations().iter().take(8) {
             let (view, suppressed) = r.materialize(&table, g).expect("reported gens valid");
-            prop_assert_eq!(suppressed, 0);
+            assert_eq!(suppressed, 0, "case {case}");
             let spec = GroupSpec::ground(&qi).expect("valid");
-            prop_assert!(view.is_k_anonymous(&spec, k).expect("valid"));
+            assert!(view.is_k_anonymous(&spec, k).expect("valid"), "case {case}");
         }
         let raw_anonymous = table
             .frequency_set(&GroupSpec::ground(&qi).expect("valid"))
             .expect("valid")
             .is_k_anonymous(k);
-        prop_assert_eq!(r.contains(&[0, 0, 0]), raw_anonymous);
+        assert_eq!(r.contains(&[0, 0, 0]), raw_anonymous, "case {case}");
     }
 }
 
