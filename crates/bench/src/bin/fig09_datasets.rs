@@ -9,9 +9,9 @@
 //! being described.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin fig09_datasets
-//!         [--rows-adults N] [--rows-landsend N]`
+//!         [--rows-adults N] [--rows-landsend N] [--quick] [--trace [path]]`
 
-use incognito_bench::{Algo, BenchReport, Cli, Series};
+use incognito_bench::{init_tracing, write_trace, Algo, BenchReport, Cli, Series};
 use incognito_data::{adults, landsend};
 use incognito_table::Table;
 
@@ -32,6 +32,7 @@ fn main() {
     let cli = Cli::from_env();
     let adults_cfg = cli.adults_config();
     let landsend_cfg = cli.landsend_config(100_000);
+    let trace = init_tracing(&cli, "fig09_datasets");
     let mut report = BenchReport::new("fig09_datasets");
     report.set("rows_adults", adults_cfg.rows);
     report.set("rows_landsend", landsend_cfg.rows);
@@ -58,4 +59,7 @@ fn main() {
     report.record_run("Basic Incognito", "landsend", 2, qi.len(), &r, wall);
 
     report.finish();
+    if let Some(path) = trace {
+        write_trace(&path);
+    }
 }

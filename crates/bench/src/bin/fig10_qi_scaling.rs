@@ -8,12 +8,12 @@
 //! with per-run timings and engine metrics.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin fig10_qi_scaling
-//!         [--rows-adults N] [--rows-landsend N] [--quick]`
+//!         [--rows-adults N] [--rows-landsend N] [--quick] [--trace [path]]`
 //!
 //! `--quick` trims each sweep's largest sizes and the slowest baseline so a
 //! laptop pass completes in ~a minute.
 
-use incognito_bench::{secs, Algo, BenchReport, Cli, Series};
+use incognito_bench::{init_tracing, secs, write_trace, Algo, BenchReport, Cli, Series};
 use incognito_data::{adults, landsend};
 use incognito_table::Table;
 
@@ -56,6 +56,7 @@ fn main() {
     let adults_cfg = cli.adults_config();
     let landsend_cfg = cli.landsend_config(100_000);
 
+    let trace = init_tracing(&cli, "fig10_qi_scaling");
     let mut report = BenchReport::new("fig10_qi_scaling");
     report.set("rows_adults", adults_cfg.rows);
     report.set("rows_landsend", landsend_cfg.rows);
@@ -81,4 +82,7 @@ fn main() {
     panel("fig10_landsend_k10", "landsend", &l, 10, &lands_sizes, &algos, &mut report);
 
     report.finish();
+    if let Some(path) = trace {
+        write_trace(&path);
+    }
 }

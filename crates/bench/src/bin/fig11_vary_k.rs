@@ -8,9 +8,9 @@
 //! finish QI 8 on the large table in reasonable time.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin fig11_vary_k
-//!         [--rows-adults N] [--rows-landsend N] [--quick]`
+//!         [--rows-adults N] [--rows-landsend N] [--quick] [--trace [path]]`
 
-use incognito_bench::{secs, Algo, BenchReport, Cli, Series};
+use incognito_bench::{init_tracing, secs, write_trace, Algo, BenchReport, Cli, Series};
 use incognito_data::{adults, landsend};
 
 const KS: [u64; 5] = [2, 5, 10, 25, 50];
@@ -21,6 +21,7 @@ fn main() {
     let adults_cfg = cli.adults_config();
     let landsend_cfg = cli.landsend_config(100_000);
 
+    let trace = init_tracing(&cli, "fig11_vary_k");
     let mut report = BenchReport::new("fig11_vary_k");
     report.set("rows_adults", adults_cfg.rows);
     report.set("rows_landsend", landsend_cfg.rows);
@@ -84,4 +85,7 @@ fn main() {
     series.emit();
 
     report.finish();
+    if let Some(path) = trace {
+        write_trace(&path);
+    }
 }

@@ -9,11 +9,11 @@
 //! cost once the cube is materialized is lower than Basic Incognito.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin fig12_cube_breakdown
-//!         [--rows-adults N] [--rows-landsend N] [--quick]`
+//!         [--rows-adults N] [--rows-landsend N] [--quick] [--trace [path]]`
 
 use std::time::Instant;
 
-use incognito_bench::{secs, BenchReport, Cli, Series};
+use incognito_bench::{init_tracing, secs, write_trace, BenchReport, Cli, Series};
 use incognito_core::cube::{anonymize_with_cube, Cube};
 use incognito_core::{incognito, Config};
 use incognito_data::{adults, landsend};
@@ -66,6 +66,7 @@ fn main() {
     let adults_cfg = cli.adults_config();
     let landsend_cfg = cli.landsend_config(100_000);
 
+    let trace = init_tracing(&cli, "fig12_cube_breakdown");
     let mut report = BenchReport::new("fig12_cube_breakdown");
     report.set("rows_adults", adults_cfg.rows);
     report.set("rows_landsend", landsend_cfg.rows);
@@ -83,4 +84,7 @@ fn main() {
     panel("fig12_landsend_k2", "landsend", &l, &lands_sizes, &mut report);
 
     report.finish();
+    if let Some(path) = trace {
+        write_trace(&path);
+    }
 }

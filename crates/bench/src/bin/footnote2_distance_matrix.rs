@@ -7,11 +7,12 @@
 //! tuples `u` grows, the matrix construction scales ~u² while the
 //! frequency-set check stays linear in the row count.
 //!
-//! Usage: `cargo run -p incognito-bench --release --bin footnote2_distance_matrix`
+//! Usage: `cargo run -p incognito-bench --release --bin footnote2_distance_matrix
+//!         [--trace [path]]`
 
 use std::time::Instant;
 
-use incognito_bench::{secs, BenchReport, Series};
+use incognito_bench::{init_tracing, secs, write_trace, BenchReport, Cli, Series};
 use incognito_core::distance_matrix::DistanceMatrix;
 use incognito_core::Config;
 use incognito_data::{adults, AdultsConfig};
@@ -19,9 +20,11 @@ use incognito_obs::Json;
 use incognito_table::GroupSpec;
 
 fn main() {
+    let cli = Cli::from_env();
     let qi = [0usize, 3, 4]; // Age × Marital × Education
     let cfg = Config::new(2);
 
+    let trace = init_tracing(&cli, "footnote2_distance_matrix");
     let mut report = BenchReport::new("footnote2_distance_matrix");
     report.set("k", cfg.k);
     report.set("qi_arity", qi.len());
@@ -76,4 +79,7 @@ fn main() {
     );
 
     report.finish();
+    if let Some(path) = trace {
+        write_trace(&path);
+    }
 }

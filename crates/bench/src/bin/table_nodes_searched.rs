@@ -17,9 +17,9 @@
 //! ```
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin table_nodes_searched
-//!         [--rows-adults N] [--k K]`
+//!         [--rows-adults N] [--k K] [--trace [path]]`
 
-use incognito_bench::{Algo, BenchReport, Cli, Series};
+use incognito_bench::{init_tracing, write_trace, Algo, BenchReport, Cli, Series};
 use incognito_data::adults;
 
 fn main() {
@@ -27,6 +27,7 @@ fn main() {
     let k: u64 = cli.get("k").unwrap_or(2);
     let cfg = cli.adults_config();
 
+    let trace = init_tracing(&cli, "table_nodes_searched");
     let mut report = BenchReport::new("table_nodes_searched");
     report.set("rows_adults", cfg.rows);
     report.set("k", k);
@@ -57,4 +58,7 @@ fn main() {
     println!("Paper (real Adults, k=2): 14/14, 47/35, 206/103, 680/246, 2088/664, 6366/1778, 12818/4307.");
 
     report.finish();
+    if let Some(path) = trace {
+        write_trace(&path);
+    }
 }

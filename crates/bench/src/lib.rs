@@ -233,6 +233,41 @@ impl Cli {
             ..LandsEndConfig::default()
         }
     }
+
+    /// Trace output path from `--trace [path]`. `None` when the flag is
+    /// absent; with the flag but no path (or the "path" is another flag),
+    /// defaults to `results/TRACE_<name>.json`.
+    pub fn trace_path(&self, name: &str) -> Option<PathBuf> {
+        let idx = self.args.iter().position(|a| a == "--trace")?;
+        match self.args.get(idx + 1) {
+            Some(v) if !v.starts_with("--") => Some(PathBuf::from(v)),
+            _ => Some(results_dir().join(format!("TRACE_{name}.json"))),
+        }
+    }
+}
+
+/// Turn trace collection on when the CLI asked for it ([`Cli::trace_path`])
+/// and return where the trace should land; pass that path to
+/// [`write_trace`] once the runs are done.
+pub fn init_tracing(cli: &Cli, name: &str) -> Option<PathBuf> {
+    let path = cli.trace_path(name)?;
+    incognito_obs::trace::set_enabled(true);
+    Some(path)
+}
+
+/// Drain every collected trace span and write the Chrome Trace Event
+/// Format file (loadable in Perfetto / `chrome://tracing`).
+pub fn write_trace(path: &std::path::Path) {
+    let records = incognito_obs::trace::drain();
+    match incognito_obs::trace::write_chrome_trace(path, &records) {
+        Ok(bytes) => println!(
+            "(trace: {} spans, {} bytes written to {})",
+            records.len(),
+            bytes,
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not write trace {}: {e}", path.display()),
+    }
 }
 
 #[cfg(test)]

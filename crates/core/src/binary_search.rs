@@ -32,6 +32,10 @@ pub fn samarati_binary_search(
 ) -> Result<AnonymizationResult, AlgoError> {
     let schema = table.schema().clone();
     let qi = validate_qi(&schema, qi, cfg.k)?;
+    let _search_span = incognito_obs::trace::span("search")
+        .arg("algo", "binary_search")
+        .arg("k", cfg.k)
+        .arg("qi_arity", qi.len() as u64);
     let search_start = std::time::Instant::now();
     let lattice = CandidateGraph::full_lattice(&schema, &qi);
     let lattice_build = search_start.elapsed();
@@ -55,18 +59,28 @@ pub fn samarati_binary_search(
 
     // Probe one height: collect the k-anonymous nodes at that height.
     let probe = |h: u32, stats: &mut SearchStats, it: &mut IterationStats| -> Result<Vec<u32>, AlgoError> {
+        let mut probe_span = incognito_obs::trace::span("probe")
+            .arg("height", h as u64)
+            .arg("nodes", by_height[h as usize].len() as u64);
         let mut hits = Vec::new();
         for &id in &by_height[h as usize] {
+            let mut check_span = incognito_obs::trace::span("check");
+            if check_span.is_active() {
+                check_span.set_arg("node", crate::trace::spec_label(&lattice.node(id).parts));
+            }
             let t0 = std::time::Instant::now();
             let freq = cfg.scan(table, &lattice.node(id).to_group_spec()?)?;
             stats.timings.scan += t0.elapsed();
             stats.freq_from_scan += 1;
             stats.table_scans += 1;
             it.nodes_checked += 1;
-            if cfg.passes(&freq) {
+            let anonymous = cfg.passes(&freq);
+            check_span.set_arg("anonymous", anonymous);
+            if anonymous {
                 hits.push(id);
             }
         }
+        probe_span.set_arg("hits", hits.len() as u64);
         Ok(hits)
     };
 

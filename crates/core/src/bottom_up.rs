@@ -29,6 +29,10 @@ pub fn bottom_up_search(
 ) -> Result<AnonymizationResult, AlgoError> {
     let schema = table.schema().clone();
     let qi = validate_qi(&schema, qi, cfg.k)?;
+    let _search_span = incognito_obs::trace::span("search")
+        .arg("algo", if cfg.rollup { "bottom_up_rollup" } else { "bottom_up" })
+        .arg("k", cfg.k)
+        .arg("qi_arity", qi.len() as u64);
     let search_start = std::time::Instant::now();
     let lattice = CandidateGraph::full_lattice(&schema, &qi);
     let num = lattice.num_nodes();
@@ -63,6 +67,10 @@ pub fn bottom_up_search(
         (0..num).map(|id| lattice.direct_generalizations(id as NodeId).len() as u32).collect();
 
     while let Some(node) = order.pop_front() {
+        let mut check_span = incognito_obs::trace::span("check");
+        if check_span.is_active() {
+            check_span.set_arg("node", crate::trace::spec_label(&lattice.node(node).parts));
+        }
         let spec = lattice.node(node).to_group_spec()?;
         let freq = if cfg.rollup {
             match in_adj[node as usize].iter().find_map(|&p| cache.get(&p)) {
@@ -92,6 +100,7 @@ pub fn bottom_up_search(
         };
         it_stats.nodes_checked += 1;
         anonymous[node as usize] = cfg.passes(&freq);
+        check_span.set_arg("anonymous", anonymous[node as usize]);
 
         for &g in lattice.direct_generalizations(node) {
             if !seen[g as usize] {

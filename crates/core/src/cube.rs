@@ -37,6 +37,8 @@ impl Cube {
         let schema = table.schema().clone();
         let qi = validate_qi(&schema, qi, k)?;
         let n = qi.len();
+        let mut cube_span = incognito_obs::trace::span("cube.build")
+            .arg("qi_arity", n as u64);
         let start = Instant::now();
 
         let mut freq: ZeroCube = ZeroCube::default();
@@ -68,6 +70,7 @@ impl Cube {
             freq.insert(mask, projected);
         }
 
+        cube_span.set_arg("projections", projections as u64);
         Ok(Cube { qi, freq, build_time: start.elapsed(), projections })
     }
 
@@ -184,10 +187,6 @@ mod tests {
         let r = cube_incognito(&t, &[0, 1, 2], &Config::new(2)).unwrap();
         assert_eq!(r.stats().table_scans, 1);
         assert!(r.stats().timings.cube_build.is_some());
-        #[allow(deprecated)]
-        {
-            assert_eq!(r.stats().cube_build(), r.stats().timings.cube_build);
-        }
         assert_eq!(r.stats().freq_from_projection, 6);
         // Basic scans once per root family instead.
         let basic = incognito(&t, &[0, 1, 2], &Config::new(2)).unwrap();

@@ -26,12 +26,25 @@ pub fn datafly(table: &Table, qi: &[usize], cfg: &Config) -> Result<Anonymizatio
     let mut levels: Vec<LevelNo> = vec![0; qi.len()];
     let heights: Vec<LevelNo> = qi.iter().map(|&a| schema.hierarchy(a).height()).collect();
 
+    let _search_span = incognito_obs::trace::span("search")
+        .arg("algo", "datafly")
+        .arg("k", cfg.k)
+        .arg("qi_arity", qi.len() as u64);
     let search_start = std::time::Instant::now();
     let mut stats = SearchStats::default();
     let mut it_stats = IterationStats { arity: qi.len(), ..IterationStats::default() };
 
     loop {
         let spec = GroupSpec::new(qi.iter().copied().zip(levels.iter().copied()).collect())?;
+        let mut check_span = incognito_obs::trace::span("check");
+        if check_span.is_active() {
+            check_span.set_arg(
+                "node",
+                crate::trace::spec_label(
+                    &qi.iter().copied().zip(levels.iter().copied()).collect::<Vec<_>>(),
+                ),
+            );
+        }
         let t0 = std::time::Instant::now();
         let freq = cfg.scan(table, &spec)?;
         stats.timings.scan += t0.elapsed();
@@ -39,7 +52,9 @@ pub fn datafly(table: &Table, qi: &[usize], cfg: &Config) -> Result<Anonymizatio
         stats.table_scans += 1;
         it_stats.nodes_checked += 1;
 
-        if freq.is_k_anonymous_with_suppression(cfg.k, allowance) {
+        let anonymous = freq.is_k_anonymous_with_suppression(cfg.k, allowance);
+        check_span.set_arg("anonymous", anonymous);
+        if anonymous {
             break;
         }
 

@@ -1,0 +1,328 @@
+//! Explain plans for lattice searches: fold a [`TraceEvent`] log into the
+//! per-iteration accounting table of the paper's §4.2 (candidates, checks
+//! by [`CheckSource`], marks, survivors, wall time) and render the searched
+//! portion of the generalization lattice as Graphviz DOT, nodes colored by
+//! verdict and shaped by frequency-set source.
+//!
+//! The text renderer is what `incognito-report explain` and the bench bins
+//! print; the DOT output reproduces the paper's Figure 5/7 search diagrams
+//! for any run.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use incognito_hierarchy::LevelNo;
+
+use crate::trace::{spec_label, CheckSource, TraceEvent};
+use crate::SearchStats;
+
+/// Per-source check counts of one iteration, indexed by [`CheckSource`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckCounts {
+    /// Checks answered by scanning the base table.
+    pub scan: usize,
+    /// Checks answered by rolling up a parent's frequency set.
+    pub rollup: usize,
+    /// Checks answered from a family super-root scan (§3.3.1).
+    pub superroot: usize,
+    /// Checks answered from the zero-generalization cube (§3.3.2).
+    pub cube: usize,
+}
+
+impl CheckCounts {
+    fn bump(&mut self, via: CheckSource) {
+        match via {
+            CheckSource::TableScan => self.scan += 1,
+            CheckSource::Rollup => self.rollup += 1,
+            CheckSource::SuperRoot => self.superroot += 1,
+            CheckSource::Cube => self.cube += 1,
+        }
+    }
+
+    /// Total checks across all sources.
+    pub fn total(&self) -> usize {
+        self.scan + self.rollup + self.superroot + self.cube
+    }
+
+    fn add(&mut self, o: &CheckCounts) {
+        self.scan += o.scan;
+        self.rollup += o.rollup;
+        self.superroot += o.superroot;
+        self.cube += o.cube;
+    }
+}
+
+/// One subset-size iteration of the folded search plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IterationRow {
+    /// Subset size `i`.
+    pub arity: usize,
+    /// Candidate nodes in `Cᵢ`.
+    pub candidates: usize,
+    /// Edges in `Eᵢ`.
+    pub edges: usize,
+    /// Checks by frequency-set source.
+    pub checks: CheckCounts,
+    /// Nodes marked via the generalization property.
+    pub marked: usize,
+    /// Nodes that survived (`|Sᵢ|`).
+    pub survivors: usize,
+    /// Iteration wall time, when [`ExplainPlan::with_timings`] supplied it.
+    pub wall: Option<Duration>,
+}
+
+/// A search plan folded from a [`TraceEvent`] log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExplainPlan {
+    /// One row per iteration, in search order.
+    pub rows: Vec<IterationRow>,
+}
+
+impl ExplainPlan {
+    /// Fold an event log into per-iteration rows. Events before the first
+    /// `IterationStart` (there are none in well-formed logs) are ignored.
+    pub fn from_events(events: &[TraceEvent]) -> ExplainPlan {
+        let mut rows: Vec<IterationRow> = Vec::new();
+        for e in events {
+            match e {
+                TraceEvent::IterationStart { arity, candidates, edges } => {
+                    rows.push(IterationRow {
+                        arity: *arity,
+                        candidates: *candidates,
+                        edges: *edges,
+                        ..IterationRow::default()
+                    });
+                }
+                TraceEvent::Checked { via, .. } => {
+                    if let Some(row) = rows.last_mut() {
+                        row.checks.bump(*via);
+                    }
+                }
+                TraceEvent::Marked { .. } => {
+                    if let Some(row) = rows.last_mut() {
+                        row.marked += 1;
+                    }
+                }
+                TraceEvent::IterationEnd { survivors } => {
+                    if let Some(row) = rows.last_mut() {
+                        row.survivors = *survivors;
+                    }
+                }
+            }
+        }
+        ExplainPlan { rows }
+    }
+
+    /// Attach per-iteration wall times from `stats` (matched by position).
+    pub fn with_timings(mut self, stats: &SearchStats) -> ExplainPlan {
+        for (row, it) in self.rows.iter_mut().zip(&stats.iterations) {
+            row.wall = Some(it.wall);
+        }
+        self
+    }
+
+    /// Render the plan as an aligned text table with a totals row — the
+    /// paper's per-phase accounting as a terminal-friendly explain plan.
+    pub fn render_text(&self) -> String {
+        let headers = [
+            "iter", "cands", "edges", "scan", "rollup", "sroot", "cube", "marked", "surv",
+            "wall",
+        ];
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.rows.len() + 1);
+        let mut totals = IterationRow::default();
+        for row in &self.rows {
+            cells.push(vec![
+                row.arity.to_string(),
+                row.candidates.to_string(),
+                row.edges.to_string(),
+                row.checks.scan.to_string(),
+                row.checks.rollup.to_string(),
+                row.checks.superroot.to_string(),
+                row.checks.cube.to_string(),
+                row.marked.to_string(),
+                row.survivors.to_string(),
+                row.wall.map_or_else(|| "-".to_owned(), fmt_duration),
+            ]);
+            totals.candidates += row.candidates;
+            totals.edges += row.edges;
+            totals.checks.add(&row.checks);
+            totals.marked += row.marked;
+            if let Some(w) = row.wall {
+                totals.wall = Some(totals.wall.unwrap_or_default() + w);
+            }
+        }
+        cells.push(vec![
+            "total".to_owned(),
+            totals.candidates.to_string(),
+            totals.edges.to_string(),
+            totals.checks.scan.to_string(),
+            totals.checks.rollup.to_string(),
+            totals.checks.superroot.to_string(),
+            totals.checks.cube.to_string(),
+            totals.marked.to_string(),
+            self.rows.last().map_or(0, |r| r.survivors).to_string(),
+            totals.wall.map_or_else(|| "-".to_owned(), fmt_duration),
+        ]);
+
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &cells {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in headers.iter().enumerate() {
+            let _ = write!(out, "{}{:>w$}", if i == 0 { "" } else { "  " }, h, w = widths[i]);
+        }
+        out.push('\n');
+        for (ri, row) in cells.iter().enumerate() {
+            if ri + 1 == cells.len() {
+                let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+                out.push_str(&"-".repeat(rule));
+                out.push('\n');
+            }
+            for (i, c) in row.iter().enumerate() {
+                let _ =
+                    write!(out, "{}{:>w$}", if i == 0 { "" } else { "  " }, c, w = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+/// Render the searched lattice as Graphviz DOT: one cluster per iteration,
+/// checked nodes colored by verdict (green = anonymous, salmon = failed),
+/// marked nodes light blue, shapes by [`CheckSource`], and dashed edges
+/// from each marked node back to the node that implied it.
+pub fn render_dot(events: &[TraceEvent]) -> String {
+    let mut out = String::from("digraph search {\n  rankdir=BT;\n  node [fontsize=10];\n");
+    let mut iter = 0usize;
+    let mut open = false;
+    // DOT ids must be stable across iterations: prefix with the iteration.
+    let node_id = |iter: usize, spec: &[(usize, LevelNo)]| -> String {
+        format!("\"i{}_{}\"", iter, spec_label(spec))
+    };
+    for e in events {
+        match e {
+            TraceEvent::IterationStart { arity, .. } => {
+                if open {
+                    out.push_str("  }\n");
+                }
+                iter = *arity;
+                open = true;
+                let _ = write!(
+                    out,
+                    "  subgraph cluster_{iter} {{\n    label=\"iteration {iter}\";\n"
+                );
+            }
+            TraceEvent::Checked { spec, via, anonymous } => {
+                let color = if *anonymous { "palegreen" } else { "lightsalmon" };
+                let shape = match via {
+                    CheckSource::TableScan => "box",
+                    CheckSource::Rollup => "ellipse",
+                    CheckSource::SuperRoot => "hexagon",
+                    CheckSource::Cube => "diamond",
+                };
+                let _ = writeln!(
+                    out,
+                    "    {} [label=\"{}\\n{}\", style=filled, fillcolor={}, shape={}];",
+                    node_id(iter, spec),
+                    spec_label(spec),
+                    via.as_str(),
+                    color,
+                    shape,
+                );
+            }
+            TraceEvent::Marked { spec, implied_by } => {
+                let _ = writeln!(
+                    out,
+                    "    {} [label=\"{}\\nmarked\", style=filled, fillcolor=lightblue];",
+                    node_id(iter, spec),
+                    spec_label(spec),
+                );
+                let _ = writeln!(
+                    out,
+                    "    {} -> {} [style=dashed];",
+                    node_id(iter, implied_by),
+                    node_id(iter, spec),
+                );
+            }
+            TraceEvent::IterationEnd { .. } => {}
+        }
+    }
+    if open {
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incognito::incognito_traced;
+    use crate::testutil::patients;
+    use crate::Config;
+
+    #[test]
+    fn plan_matches_stats() {
+        let t = patients();
+        let (r, events) = incognito_traced(&t, &[0, 1, 2], &Config::new(2)).unwrap();
+        let plan = ExplainPlan::from_events(&events).with_timings(r.stats());
+        assert_eq!(plan.rows.len(), r.stats().iterations.len());
+        for (row, it) in plan.rows.iter().zip(&r.stats().iterations) {
+            assert_eq!(row.arity, it.arity);
+            assert_eq!(row.candidates, it.candidates);
+            assert_eq!(row.checks.total(), it.nodes_checked);
+            assert_eq!(row.marked, it.nodes_marked);
+            assert_eq!(row.survivors, it.survivors);
+            assert_eq!(row.wall, Some(it.wall));
+        }
+        let total_scans: usize = plan.rows.iter().map(|r| r.checks.scan).sum();
+        assert_eq!(total_scans, r.stats().freq_from_scan);
+    }
+
+    #[test]
+    fn text_table_is_aligned_and_totals() {
+        let t = patients();
+        let (r, events) = incognito_traced(&t, &[1, 2], &Config::new(2)).unwrap();
+        let text = ExplainPlan::from_events(&events).with_timings(r.stats()).render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        // header + 2 iterations + rule + total
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("iter"));
+        assert!(lines[3].starts_with('-'));
+        assert!(lines[4].starts_with("total"));
+        // Every row is equally wide (alignment; char count — µs is multibyte).
+        let width = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == width));
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let t = patients();
+        let (_r, events) = incognito_traced(&t, &[1, 2], &Config::new(2)).unwrap();
+        let dot = render_dot(&events);
+        assert!(dot.starts_with("digraph search {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches("subgraph cluster_").count(), 2);
+        assert!(dot.contains("fillcolor=palegreen"));
+        assert!(dot.contains("fillcolor=lightsalmon"));
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("style=dashed"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -84,12 +84,26 @@ pub(crate) fn incognito_impl(
         qi.iter().enumerate().map(|(p, &a)| (a, p)).collect();
 
     let search_start = Instant::now();
+    let algo = match (&alt, cfg.superroots) {
+        (AltSource::None, false) => "basic",
+        (AltSource::None, true) => "superroots",
+        (AltSource::Cube(_), _) => "cube",
+        (AltSource::Store(_), _) => "store",
+    };
+    let _search_span = incognito_obs::trace::span("search")
+        .arg("algo", algo)
+        .arg("k", cfg.k)
+        .arg("qi_arity", n as u64);
     let mut stats = SearchStats::default();
     let mut graph = CandidateGraph::initial(&schema, &qi);
     let mut final_alive: Vec<bool> = Vec::new();
 
     for i in 1..=n {
         let iter_start = Instant::now();
+        let mut iter_span = incognito_obs::trace::span("iteration")
+            .arg("arity", i as u64)
+            .arg("candidates", graph.num_nodes() as u64)
+            .arg("edges", graph.num_edges() as u64);
         sink(TraceEvent::IterationStart {
             arity: i,
             candidates: graph.num_nodes(),
@@ -131,6 +145,11 @@ pub(crate) fn incognito_impl(
                     continue; // a lone root scans directly; no sharing to win
                 }
                 let glb = graph.family_glb(&fam_roots).expect("same family");
+                let mut sr_span = incognito_obs::trace::span("superroot.scan")
+                    .arg("roots", fam_roots.len() as u64);
+                if sr_span.is_active() {
+                    sr_span.set_arg("glb", crate::trace::spec_label(&glb.parts));
+                }
                 let scan_start = Instant::now();
                 let freq = cfg.scan(table, &glb.to_group_spec()?)?;
                 stats.timings.scan += scan_start.elapsed();
@@ -196,6 +215,10 @@ pub(crate) fn incognito_impl(
                 continue;
             }
             processed[node as usize] = true;
+            let mut check_span = incognito_obs::trace::span("check");
+            if check_span.is_active() {
+                check_span.set_arg("node", crate::trace::spec_label(&graph.node(node).parts));
+            }
             let spec = graph.node(node).to_group_spec()?;
 
             // Obtain the node's frequency set: rollup from a cached direct
@@ -261,6 +284,8 @@ pub(crate) fn incognito_impl(
             };
 
             let anonymous = cfg.passes(&freq);
+            check_span.set_arg("via", via.as_str());
+            check_span.set_arg("anonymous", anonymous);
             it_stats.nodes_checked += 1;
             sink(TraceEvent::Checked {
                 spec: graph.node(node).parts.clone(),
@@ -314,6 +339,10 @@ pub(crate) fn incognito_impl(
         }
         it_stats.wall = iter_start.elapsed();
         sink(TraceEvent::IterationEnd { survivors: it_stats.survivors });
+        iter_span.set_arg("checked", it_stats.nodes_checked as u64);
+        iter_span.set_arg("marked", it_stats.nodes_marked as u64);
+        iter_span.set_arg("survivors", it_stats.survivors as u64);
+        iter_span.finish();
         stats.push_iteration(it_stats);
     }
     stats.timings.total = search_start.elapsed();

@@ -36,6 +36,7 @@ pub mod cube;
 pub mod datafly;
 pub mod distance_matrix;
 mod error;
+pub mod explain;
 pub mod incognito;
 pub mod materialize;
 pub mod muargus;
@@ -47,6 +48,7 @@ pub mod trace;
 pub mod verify;
 
 pub use error::AlgoError;
+pub use explain::{render_dot, ExplainPlan};
 pub use incognito::incognito;
 pub use result::{AnonymizationResult, Generalization};
 pub use stats::{IterationStats, PhaseTimings, SearchStats};

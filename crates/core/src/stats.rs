@@ -81,12 +81,6 @@ impl SearchStats {
         self.iterations.iter().map(|i| i.candidates).sum()
     }
 
-    /// Wall-clock spent pre-computing the zero-generalization cube.
-    #[deprecated(since = "0.1.0", note = "use `timings.cube_build` instead")]
-    pub fn cube_build(&self) -> Option<Duration> {
-        self.timings.cube_build
-    }
-
     /// Record an iteration.
     pub(crate) fn push_iteration(&mut self, it: IterationStats) {
         self.iterations.push(it);
@@ -124,11 +118,9 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_cube_build_accessor_reads_timings() {
+    fn cube_build_lives_in_timings() {
         let mut s = SearchStats::default();
         s.timings.cube_build = Some(Duration::from_millis(7));
-        #[allow(deprecated)]
-        let got = s.cube_build();
-        assert_eq!(got, Some(Duration::from_millis(7)));
+        assert_eq!(s.timings.cube_build, Some(Duration::from_millis(7)));
     }
 }

@@ -18,6 +18,32 @@ pub enum CheckSource {
     Cube,
 }
 
+impl CheckSource {
+    /// Stable lowercase label, used by trace-span args and the explain
+    /// renderer's column headers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CheckSource::TableScan => "scan",
+            CheckSource::Rollup => "rollup",
+            CheckSource::SuperRoot => "superroot",
+            CheckSource::Cube => "cube",
+        }
+    }
+}
+
+/// Render a node's `(attribute, level)` parts as the compact `a<i>L<l>`
+/// notation used in span args and explain output, e.g. `a1L0,a2L2`.
+pub fn spec_label(spec: &[(usize, LevelNo)]) -> String {
+    let mut s = String::new();
+    for (i, &(a, l)) in spec.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("a{a}L{l}"));
+    }
+    s
+}
+
 /// One event in a search trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {

@@ -12,6 +12,10 @@
 //! * [`Json`] / [`RunReport`] — a hand-rolled (zero-dependency) JSON value
 //!   with writer and parser, and the `BENCH_<name>.json` report builder the
 //!   bench bins emit alongside their CSVs.
+//! * [`trace`] — hierarchical trace trees: nesting [`TraceSpan`]s with
+//!   key/value args, exported as Chrome Trace Event Format JSON for
+//!   Perfetto / `chrome://tracing` (gated by its own flag, see the module
+//!   docs).
 //! * [`Rng`] — a tiny deterministic PRNG (xoshiro256\*\*) used by the data
 //!   generators and property-style tests, so the workspace needs no
 //!   external `rand` crate. It lives here, at the bottom of the dependency
@@ -40,12 +44,14 @@ pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod span;
+pub mod trace;
 
 pub use json::{Json, JsonError};
 pub use metrics::{CounterHandle, MetricValue, MetricsRegistry, MetricsSnapshot, TimerHandle, TimerValue};
 pub use report::RunReport;
 pub use rng::Rng;
 pub use span::Span;
+pub use trace::{TraceRecord, TraceSpan};
 
 /// Process-global switch for all observation. Off by default.
 static ENABLED: AtomicBool = AtomicBool::new(false);

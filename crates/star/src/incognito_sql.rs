@@ -64,6 +64,10 @@ pub fn incognito_sql(
         }));
     }
 
+    let _search_span = incognito_obs::trace::span("search")
+        .arg("algo", "sql")
+        .arg("k", cfg.k)
+        .arg("qi_arity", sorted.len() as u64);
     let star = StarSchema::build(table, &sorted)?;
     let heights: Vec<(usize, LevelNo)> = sorted
         .iter()
@@ -82,6 +86,10 @@ pub fn incognito_sql(
     };
 
     for i in 1..=n {
+        let mut iter_span = incognito_obs::trace::span("sql.iteration")
+            .arg("arity", i as u64)
+            .arg("candidates", nodes.len() as u64)
+            .arg("edges", edges.len() as u64);
         let num = nodes.len();
         // Adjacency over dense IDs (initial_relations and prune_phase both
         // assign IDs 0..num in row order).
@@ -122,19 +130,23 @@ pub fn incognito_sql(
             }
             processed[node] = true;
 
+            let mut check_span = incognito_obs::trace::span("sql.check");
             let freq = match in_adj[node].iter().find(|&&p| cache.contains_key(&p)) {
                 Some(&p) => {
                     outcome.rollup_queries += 1;
+                    check_span.set_arg("via", "rollup");
                     let target: Vec<LevelNo> = parts[node].iter().map(|&(_, l)| l).collect();
                     rollup_sql(&star, &cache[&p], &parts[p], &target)?
                 }
                 None => {
                     outcome.scan_queries += 1;
+                    check_span.set_arg("via", "scan");
                     frequency_set_sql(&star, &parts[node])?
                 }
             };
             outcome.nodes_checked += 1;
             let anonymous = is_k_anonymous_sql(&freq, cfg.k, cfg.max_suppress)?;
+            check_span.set_arg("anonymous", anonymous);
 
             if anonymous {
                 // Generalization property: mark transitively.
@@ -160,6 +172,7 @@ pub fn incognito_sql(
             }
         }
 
+        iter_span.set_arg("survivors", alive.iter().filter(|&&a| a).count() as u64);
         if i == n {
             for (row, &a) in alive.iter().enumerate() {
                 if a {

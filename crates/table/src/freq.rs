@@ -164,6 +164,8 @@ impl FrequencySet {
     /// Compute by scanning `table` (the spec must already be validated).
     pub(crate) fn scan(table: &Table, spec: &GroupSpec) -> FrequencySet {
         let _span = incognito_obs::span("table.scan.time");
+        let mut tspan = incognito_obs::trace::span("table.scan")
+            .arg("rows", table.num_rows() as u64);
         incognito_obs::incr("table.scan.count");
         incognito_obs::add("table.scan.rows", table.num_rows() as u64);
         let schema = table.schema();
@@ -182,6 +184,7 @@ impl FrequencySet {
             }
             *counts.entry(key).or_insert(0) += 1;
         }
+        tspan.set_arg("groups", counts.len() as u64);
         FrequencySet { spec: spec.clone(), counts, total: nrows as u64 }
     }
 
@@ -197,6 +200,9 @@ impl FrequencySet {
             return FrequencySet::scan(table, spec);
         }
         let _span = incognito_obs::span("table.scan.time");
+        let mut tspan = incognito_obs::trace::span("table.scan")
+            .arg("rows", nrows as u64)
+            .arg("threads", threads as u64);
         incognito_obs::incr("table.scan.count");
         incognito_obs::incr("table.scan.parallel");
         incognito_obs::add("table.scan.rows", nrows as u64);
@@ -245,6 +251,7 @@ impl FrequencySet {
                 *counts.entry(k).or_insert(0) += c;
             }
         }
+        tspan.set_arg("groups", counts.len() as u64);
         FrequencySet { spec: spec.clone(), counts, total: nrows as u64 }
     }
 
@@ -312,6 +319,8 @@ impl FrequencySet {
     /// mapping each group through γ and summing counts — no table scan.
     pub fn rollup(&self, schema: &Schema, target: &[LevelNo]) -> Result<FrequencySet, TableError> {
         let _span = incognito_obs::span("table.rollup.time");
+        let mut tspan = incognito_obs::trace::span("table.rollup")
+            .arg("groups_in", self.counts.len() as u64);
         if target.len() != self.spec.len() {
             return Err(TableError::IncompatibleSpec(format!(
                 "rollup target has {} levels, spec has {}",
@@ -353,6 +362,7 @@ impl FrequencySet {
         incognito_obs::incr("table.rollup.count");
         incognito_obs::add("table.rollup.groups_in", self.counts.len() as u64);
         incognito_obs::add("table.rollup.groups_out", counts.len() as u64);
+        tspan.set_arg("groups_out", counts.len() as u64);
         Ok(FrequencySet { spec, counts, total: self.total })
     }
 
@@ -362,6 +372,8 @@ impl FrequencySet {
     /// ones, data-cube style.
     pub fn project(&self, keep: &[usize]) -> Result<FrequencySet, TableError> {
         let _span = incognito_obs::span("table.project.time");
+        let mut tspan = incognito_obs::trace::span("table.project")
+            .arg("groups_in", self.counts.len() as u64);
         let mut prev: Option<usize> = None;
         for &p in keep {
             if p >= self.spec.len() || prev.is_some_and(|q| q >= p) {
@@ -385,6 +397,7 @@ impl FrequencySet {
         incognito_obs::incr("table.project.count");
         incognito_obs::add("table.project.groups_in", self.counts.len() as u64);
         incognito_obs::add("table.project.groups_out", counts.len() as u64);
+        tspan.set_arg("groups_out", counts.len() as u64);
         Ok(FrequencySet { spec, counts, total: self.total })
     }
 

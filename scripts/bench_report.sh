@@ -1,33 +1,32 @@
 #!/usr/bin/env sh
-# Regenerate the Figure-9 bench report and validate the emitted JSON.
+# Regenerate the Figure-9 bench report plus its trace and validate both,
+# then check that everything under results/ is documented.
 #
 # Usage: scripts/bench_report.sh [extra bin args...]
-# e.g.   scripts/bench_report.sh --rows-adults 5000 --rows-landsend 20000
+# e.g.   scripts/bench_report.sh --quick
+#        scripts/bench_report.sh --rows-adults 5000 --rows-landsend 20000
 #
 # The report writer re-parses everything it serializes before committing
 # the file, so existence already implies well-formedness; this script
-# additionally checks the file from the outside (python3 when available)
-# and asserts the fields the acceptance criteria name.
+# additionally checks the files from the outside (python3 when
+# available) and asserts the fields the acceptance criteria name.
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
-# --quick is accepted for CI symmetry; fig09 has no quick mode to trim.
-args=""
-for a in "$@"; do
-  [ "$a" = "--quick" ] && continue
-  args="$args $a"
-done
-
-# shellcheck disable=SC2086  # word-splitting of $args is intended
-cargo run --release -p incognito-bench --bin fig09_datasets -- $args
+# All args (including --quick, which trims the Lands End row count)
+# pass straight through to the bin; --trace is always added.
+cargo run --release -p incognito-bench --bin fig09_datasets -- "$@" \
+  --trace results/TRACE_fig09_datasets.json
 
 report="results/BENCH_fig09_datasets.json"
+trace="results/TRACE_fig09_datasets.json"
 [ -f "$report" ] || { echo "FAIL: $report was not written" >&2; exit 1; }
+[ -f "$trace" ] || { echo "FAIL: $trace was not written" >&2; exit 1; }
 
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$report" <<'PY'
+  python3 - "$report" "$trace" <<'PY'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -41,11 +40,50 @@ for run in runs:
         assert key in run["stats"], f"stats missing {key}"
     assert run["metrics"].get("table.scan.count", 0) > 0, "engine counters absent"
 print(f"OK: {sys.argv[1]} valid ({len(runs)} runs)")
+
+with open(sys.argv[2]) as f:
+    tdoc = json.load(f)
+events = tdoc["traceEvents"]
+assert events, "trace has no events"
+names = set()
+for e in events:
+    assert e["ph"] == "X", f"unexpected phase {e['ph']!r}"
+    assert e["dur"] >= 0 and e["ts"] >= 0, "negative timestamp"
+    names.add(e["name"])
+for required in ("search", "iteration", "check", "table.scan"):
+    assert required in names, f"trace lacks {required!r} spans"
+print(f"OK: {sys.argv[2]} valid ({len(events)} spans)")
 PY
 else
-  # Minimal fallback: the file is non-empty and mentions the required keys.
+  # Minimal fallback: the files are non-empty and mention required keys.
   for key in '"runs"' '"iterations"' '"wall_secs"' '"table.scan.count"'; do
     grep -q "$key" "$report" || { echo "FAIL: $report lacks $key" >&2; exit 1; }
   done
-  echo "OK: $report present with required fields (python3 unavailable; grep check)"
+  for key in '"traceEvents"' '"ph": "X"' '"iteration"' '"table.scan"'; do
+    grep -q "$key" "$trace" || { echo "FAIL: $trace lacks $key" >&2; exit 1; }
+  done
+  echo "OK: $report and $trace present with required fields (python3 unavailable; grep check)"
 fi
+
+# Inventory: every output under results/ must be documented in
+# results/README.md — undocumented artifacts are a doc bug.
+status=0
+for f in results/*; do
+  name=$(basename "$f")
+  [ "$name" = "README.md" ] && continue
+  [ "$name" = "baseline" ] && continue
+  grep -q "$name" results/README.md || {
+    echo "FAIL: results/$name is not documented in results/README.md" >&2
+    status=1
+  }
+done
+for f in results/baseline/*; do
+  [ -e "$f" ] || continue
+  name=$(basename "$f")
+  grep -q "baseline/$name" results/README.md || {
+    echo "FAIL: results/baseline/$name is not documented in results/README.md" >&2
+    status=1
+  }
+done
+[ "$status" -eq 0 ] && echo "OK: results/ inventory matches results/README.md"
+exit "$status"

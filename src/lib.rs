@@ -11,9 +11,13 @@
 //! * [`data`] — dataset generators (Patients, Adults, Lands End) and CSV IO;
 //! * [`rel`] — the mini relational engine (the paper ran on SQL/DB2);
 //! * [`star`] — the star schema (Figure 4) and the SQL-path Incognito;
-//! * [`obs`] — observability: metrics, spans, run reports, seeded PRNG.
+//! * [`obs`] — observability: metrics, spans, run reports, seeded PRNG;
+//! * [`report`] — `BENCH_*.json` diffing, the perf-regression gate, and
+//!   trace explain plans (the `incognito-report` binary's library).
 
 #![forbid(unsafe_code)]
+
+pub mod report;
 
 pub use incognito_core as algo;
 pub use incognito_data as data;

@@ -1,0 +1,645 @@
+//! Comparison and explanation of the observability artifacts the bench
+//! harness writes: `BENCH_*.json` run reports and `TRACE_*.json` Chrome
+//! trace files. This is the library behind the `incognito-report` binary:
+//!
+//! * [`BenchDoc::load`] parses a `BENCH_*.json` report into workload
+//!   parameters plus per-run counters and timings;
+//! * [`diff`] pairs two reports run-by-run and yields per-metric deltas;
+//! * [`gate`] turns a diff into a pass/fail verdict against a threshold —
+//!   deterministic counters are always gated, wall-clock timings only on
+//!   request (they are noisy on shared CI hardware);
+//! * [`explain_trace`] folds a span tree back into the paper's Figure 12
+//!   style per-iteration table plus a self-time profile.
+//!
+//! Everything round-trips through [`incognito_obs::Json`]; no external
+//! parser is involved.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use incognito_obs::trace::{build_tree, profile, TraceRecord};
+use incognito_obs::Json;
+
+/// Top-level report fields that identify the *recording*, not the
+/// workload: two reports may differ in all of these and still be
+/// comparable.
+const VOLATILE_FIELDS: [&str; 5] = ["report_version", "tool_version", "unix_time", "git", "runs"];
+
+/// Identity of one recorded run inside a report: algorithm label,
+/// dataset, `k`, and quasi-identifier arity. Reports are paired run-by-run
+/// on this key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Algorithm label (the paper's legend name, e.g. `"Basic Incognito"`).
+    pub label: String,
+    /// Dataset name (`"adults"`, `"landsend"`, ...).
+    pub dataset: String,
+    /// The k of k-anonymity.
+    pub k: i64,
+    /// Number of quasi-identifier attributes.
+    pub qi_arity: i64,
+}
+
+impl fmt::Display for RunKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} k={} qi={}", self.label, self.dataset, self.k, self.qi_arity)
+    }
+}
+
+/// One run's comparable metrics: integer counters (deterministic — node
+/// checks, marks, scans) and float timings (noisy — wall clock, phases).
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Who ran on what.
+    pub key: RunKey,
+    /// Deterministic counters, e.g. `stats.nodes_checked`.
+    pub counters: Vec<(String, i64)>,
+    /// Wall-clock timings in seconds, e.g. `timings.scan_secs`.
+    pub timings: Vec<(String, f64)>,
+}
+
+/// A parsed `BENCH_*.json` report.
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// The report name (`"fig09_datasets"`, ...).
+    pub name: String,
+    /// Workload parameters: every top-level field that is not in
+    /// [`VOLATILE_FIELDS`], serialized compactly. Two reports must agree
+    /// on these to be gateable.
+    pub workload: Vec<(String, String)>,
+    /// The recorded runs, in file order.
+    pub runs: Vec<Run>,
+}
+
+impl BenchDoc {
+    /// Read and parse a report file.
+    pub fn load(path: &Path) -> Result<BenchDoc, String> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        BenchDoc::from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Extract the comparable view of a parsed report.
+    pub fn from_json(doc: &Json) -> Result<BenchDoc, String> {
+        let fields = match doc {
+            Json::Obj(fields) => fields,
+            _ => return Err("report is not a JSON object".to_owned()),
+        };
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("report has no name field")?
+            .to_owned();
+        let workload = fields
+            .iter()
+            .filter(|(k, _)| !VOLATILE_FIELDS.contains(&k.as_str()))
+            .map(|(k, v)| (k.clone(), v.to_compact_string()))
+            .collect();
+        let mut runs = Vec::new();
+        for run in doc.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
+            runs.push(run_from_json(run)?);
+        }
+        Ok(BenchDoc { name, workload, runs })
+    }
+}
+
+fn as_f64(v: &Json) -> Option<f64> {
+    match v {
+        Json::Int(x) => Some(*x as f64),
+        Json::Num(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn run_from_json(run: &Json) -> Result<Run, String> {
+    let key = RunKey {
+        label: run
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("run has no label field")?
+            .to_owned(),
+        dataset: run.get("dataset").and_then(Json::as_str).unwrap_or("").to_owned(),
+        k: run.get("k").and_then(Json::as_int).unwrap_or(0),
+        qi_arity: run.get("qi_arity").and_then(Json::as_int).unwrap_or(0),
+    };
+    let mut counters = Vec::new();
+    for field in ["generalizations", "minimal_height"] {
+        if let Some(x) = run.get(field).and_then(Json::as_int) {
+            counters.push((field.to_owned(), x));
+        }
+    }
+    if let Some(Json::Obj(stats)) = run.get("stats") {
+        for (name, value) in stats {
+            if let Some(x) = value.as_int() {
+                counters.push((format!("stats.{name}"), x));
+            }
+        }
+    }
+    let mut timings = Vec::new();
+    if let Some(x) = run.get("wall_secs").and_then(as_f64) {
+        timings.push(("wall_secs".to_owned(), x));
+    }
+    if let Some(Json::Obj(phases)) = run.get("timings") {
+        for (name, value) in phases {
+            if let Some(x) = as_f64(value) {
+                timings.push((format!("timings.{name}"), x));
+            }
+        }
+    }
+    Ok(Run { key, counters, timings })
+}
+
+/// One metric compared across two reports.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Which run the metric belongs to.
+    pub key: RunKey,
+    /// Metric name (`stats.nodes_checked`, `wall_secs`, ...).
+    pub metric: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Relative change in percent, `None` when the baseline is zero.
+    pub pct: Option<f64>,
+    /// Timings are gated only on request; counters always.
+    pub is_timing: bool,
+}
+
+impl Delta {
+    /// Did the metric get worse by more than `threshold_pct` percent?
+    /// A zero baseline growing to a nonzero value always counts.
+    pub fn regressed(&self, threshold_pct: f64) -> bool {
+        self.new > self.old && self.pct.is_none_or(|p| p > threshold_pct)
+    }
+}
+
+/// Pair two reports run-by-run (on [`RunKey`]) and compute a [`Delta`] for
+/// every metric present on both sides. Runs or metrics present on only
+/// one side are skipped here — [`gate`] treats missing *runs* as a
+/// workload mismatch.
+pub fn diff(old: &BenchDoc, new: &BenchDoc) -> Vec<Delta> {
+    let mut deltas = Vec::new();
+    for old_run in &old.runs {
+        let Some(new_run) = new.runs.iter().find(|r| r.key == old_run.key) else {
+            continue;
+        };
+        for (metric, old_v) in &old_run.counters {
+            if let Some((_, new_v)) = new_run.counters.iter().find(|(m, _)| m == metric) {
+                deltas.push(make_delta(&old_run.key, metric, *old_v as f64, *new_v as f64, false));
+            }
+        }
+        for (metric, old_v) in &old_run.timings {
+            if let Some((_, new_v)) = new_run.timings.iter().find(|(m, _)| m == metric) {
+                deltas.push(make_delta(&old_run.key, metric, *old_v, *new_v, true));
+            }
+        }
+    }
+    deltas
+}
+
+fn make_delta(key: &RunKey, metric: &str, old: f64, new: f64, is_timing: bool) -> Delta {
+    let pct = if old != 0.0 { Some((new - old) / old * 100.0) } else { None };
+    Delta { key: key.clone(), metric: metric.to_owned(), old, new, pct, is_timing }
+}
+
+/// Render deltas as an aligned text table. Timings are hidden unless
+/// `show_timings`; unchanged counters are always elided to keep the
+/// table focused on movement.
+pub fn render_diff(deltas: &[Delta], show_timings: bool, threshold_pct: f64) -> String {
+    let mut rows: Vec<[String; 5]> = Vec::new();
+    for d in deltas {
+        if d.is_timing && !show_timings {
+            continue;
+        }
+        if !d.is_timing && d.old == d.new {
+            continue;
+        }
+        let fmt_v = |v: f64| {
+            if d.is_timing { format!("{v:.6}") } else { format!("{}", v as i64) }
+        };
+        let pct = match d.pct {
+            Some(p) => format!("{p:+.1}%"),
+            None if d.new == d.old => "=".to_owned(),
+            None => "new".to_owned(),
+        };
+        let verdict = if d.regressed(threshold_pct) {
+            "REGRESSED"
+        } else if d.new < d.old {
+            "improved"
+        } else {
+            ""
+        };
+        rows.push([
+            format!("{} {}", d.key, d.metric),
+            fmt_v(d.old),
+            fmt_v(d.new),
+            pct,
+            verdict.to_owned(),
+        ]);
+    }
+    if rows.is_empty() {
+        return "no metric movement\n".to_owned();
+    }
+    let headers = ["run / metric", "old", "new", "delta", ""];
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[&str]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            // Left-align the name column, right-align numbers.
+            let pad = w.saturating_sub(cell.chars().count());
+            if i == 0 {
+                out.push_str(cell);
+                out.push_str(&" ".repeat(pad));
+            } else {
+                out.push_str(&" ".repeat(pad));
+                out.push_str(cell);
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers);
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &rows {
+        let cells: Vec<&str> = row.iter().map(String::as_str).collect();
+        line(&mut out, &cells);
+    }
+    out
+}
+
+/// The verdict of [`gate`].
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Every compared metric.
+    pub deltas: Vec<Delta>,
+    /// The subset of gated metrics that regressed past the threshold.
+    pub regressions: Vec<Delta>,
+}
+
+/// Compare a candidate report against a committed baseline. Returns
+/// `Err` — a *mismatch*, distinct from a regression — when the two
+/// reports describe different workloads: different report name, different
+/// workload parameters, or baseline runs absent from the candidate.
+/// Counters are always gated; timings only when `gate_timings`.
+pub fn gate(
+    old: &BenchDoc,
+    new: &BenchDoc,
+    threshold_pct: f64,
+    gate_timings: bool,
+) -> Result<GateReport, String> {
+    if old.name != new.name {
+        return Err(format!("report name mismatch: baseline {:?} vs candidate {:?}", old.name, new.name));
+    }
+    for (param, old_v) in &old.workload {
+        match new.workload.iter().find(|(p, _)| p == param) {
+            Some((_, new_v)) if new_v == old_v => {}
+            Some((_, new_v)) => {
+                return Err(format!(
+                    "workload mismatch on {param}: baseline {old_v} vs candidate {new_v} \
+                     (not comparable; regenerate the baseline)"
+                ));
+            }
+            None => return Err(format!("workload parameter {param} missing from candidate")),
+        }
+    }
+    for run in &old.runs {
+        if !new.runs.iter().any(|r| r.key == run.key) {
+            return Err(format!("baseline run missing from candidate: {}", run.key));
+        }
+    }
+    let deltas = diff(old, new);
+    let regressions = deltas
+        .iter()
+        .filter(|d| (gate_timings || !d.is_timing) && d.regressed(threshold_pct))
+        .cloned()
+        .collect();
+    Ok(GateReport { deltas, regressions })
+}
+
+/// Load a `TRACE_*.json` Chrome trace file back into span records.
+pub fn load_trace(path: &Path) -> Result<Vec<TraceRecord>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    incognito_obs::trace::from_chrome_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn arg_int(r: &TraceRecord, key: &str) -> Option<i64> {
+    r.args.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_int())
+}
+
+fn arg_str<'a>(r: &'a TraceRecord, key: &str) -> Option<&'a str> {
+    r.args.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_str())
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+/// Fold a span tree back into a per-iteration search-plan table (the
+/// explain plan the `--trace` flag captured) followed by a self-time
+/// profile. Understands both the in-memory engine's span names
+/// (`iteration`/`check`) and the SQL path's (`sql.iteration`/`sql.check`).
+pub fn explain_trace(records: &[TraceRecord]) -> String {
+    let forest = build_tree(records);
+    let mut out = String::new();
+
+    // Per-iteration rows, in span-open order. Each "search" root owns its
+    // iterations; label the section with the search's algo/k args.
+    let mut rows: Vec<[String; 9]> = Vec::new();
+    let mut stack: Vec<&incognito_obs::trace::TraceNode> = forest.iter().rev().collect();
+    while let Some(node) = stack.pop() {
+        let r = &records[node.index];
+        if r.name == "search" {
+            let algo = arg_str(r, "algo").unwrap_or("?");
+            let k = arg_int(r, "k").unwrap_or(0);
+            rows.push([
+                format!("— {algo} (k={k}) —"),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
+        }
+        if r.name == "iteration" || r.name == "sql.iteration" {
+            let mut by_source = [0i64; 4]; // scan, rollup, superroot, cube
+            let mut anonymous = 0i64;
+            for child in &node.children {
+                let c = &records[child.index];
+                if c.name != "check" && c.name != "sql.check" {
+                    continue;
+                }
+                match arg_str(c, "via") {
+                    Some("scan") => by_source[0] += 1,
+                    Some("rollup") => by_source[1] += 1,
+                    Some("superroot") => by_source[2] += 1,
+                    Some("cube") => by_source[3] += 1,
+                    _ => {}
+                }
+                if matches!(
+                    c.args.iter().find(|(k, _)| k == "anonymous"),
+                    Some((_, Json::Bool(true)))
+                ) {
+                    anonymous += 1;
+                }
+            }
+            rows.push([
+                arg_int(r, "arity").map_or_else(|| "?".into(), |v| v.to_string()),
+                arg_int(r, "candidates").map_or_else(|| "?".into(), |v| v.to_string()),
+                arg_int(r, "edges").map_or_else(|| "?".into(), |v| v.to_string()),
+                by_source[0].to_string(),
+                by_source[1].to_string(),
+                (by_source[2] + by_source[3]).to_string(),
+                anonymous.to_string(),
+                arg_int(r, "survivors").map_or_else(|| "?".into(), |v| v.to_string()),
+                fmt_ns(r.dur_ns),
+            ]);
+        }
+        stack.extend(node.children.iter().rev());
+    }
+
+    let headers = ["iter", "cands", "edges", "scan", "rollup", "other", "anon", "surv", "wall"];
+    if rows.is_empty() {
+        out.push_str("no iteration spans in trace\n");
+    } else {
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+        for row in &rows {
+            // Section-header rows span the table; skip them when sizing.
+            if row[1].is_empty() {
+                continue;
+            }
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        for (i, (h, w)) in headers.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&" ".repeat(w.saturating_sub(h.chars().count())));
+            out.push_str(h);
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &rows {
+            if row[1].is_empty() {
+                out.push_str(&row[0]);
+                out.push('\n');
+                continue;
+            }
+            for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&" ".repeat(w.saturating_sub(cell.chars().count())));
+                out.push_str(cell);
+            }
+            out.push('\n');
+        }
+    }
+
+    // Self-time profile: where did the wall clock actually go?
+    let prof = profile(records);
+    if !prof.is_empty() {
+        out.push_str("\nspan profile (by total time):\n");
+        let mut prows: Vec<[String; 5]> = Vec::new();
+        for p in prof.iter().take(12) {
+            prows.push([
+                p.name.clone(),
+                p.count.to_string(),
+                fmt_ns(p.total_ns),
+                fmt_ns(p.self_ns),
+                fmt_ns(p.max_ns),
+            ]);
+        }
+        let pheaders = ["span", "count", "total", "self", "max"];
+        let mut widths: Vec<usize> = pheaders.iter().map(|h| h.chars().count()).collect();
+        for row in &prows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        for (i, (h, w)) in pheaders.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                out.push_str(h);
+                out.push_str(&" ".repeat(w.saturating_sub(h.chars().count())));
+            } else {
+                out.push_str(&" ".repeat(w.saturating_sub(h.chars().count())));
+                out.push_str(h);
+            }
+        }
+        out.push('\n');
+        for row in &prows {
+            for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(w.saturating_sub(cell.chars().count())));
+                } else {
+                    out.push_str(&" ".repeat(w.saturating_sub(cell.chars().count())));
+                    out.push_str(cell);
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(name: &str, rows: i64, nodes_checked: i64, wall: f64) -> BenchDoc {
+        let mut run = Json::obj();
+        run.set("label", "Basic Incognito");
+        run.set("dataset", "adults");
+        run.set("k", 2i64);
+        run.set("qi_arity", 5i64);
+        run.set("wall_secs", wall);
+        run.set("generalizations", 65i64);
+        let mut stats = Json::obj();
+        stats.set("nodes_checked", nodes_checked);
+        stats.set("table_scans", 80i64);
+        run.set("stats", stats);
+        let mut d = Json::obj();
+        d.set("name", name);
+        d.set("rows_adults", rows);
+        d.set("runs", Json::Arr(vec![run]));
+        BenchDoc::from_json(&d).unwrap()
+    }
+
+    #[test]
+    fn identical_reports_gate_clean() {
+        let a = doc("fig09", 1000, 116, 0.08);
+        let g = gate(&a, &a, 5.0, true).unwrap();
+        assert!(g.regressions.is_empty());
+        assert!(!g.deltas.is_empty());
+    }
+
+    #[test]
+    fn counter_regression_past_threshold_fails() {
+        let old = doc("fig09", 1000, 100, 0.08);
+        let new = doc("fig09", 1000, 120, 0.08);
+        let g = gate(&old, &new, 10.0, false).unwrap();
+        assert_eq!(g.regressions.len(), 1);
+        assert_eq!(g.regressions[0].metric, "stats.nodes_checked");
+        // Within threshold: 5% growth gated at 10% passes.
+        let ok = gate(&old, &doc("fig09", 1000, 105, 0.08), 10.0, false).unwrap();
+        assert!(ok.regressions.is_empty());
+        // Improvements never fail.
+        let better = gate(&old, &doc("fig09", 1000, 80, 0.08), 10.0, false).unwrap();
+        assert!(better.regressions.is_empty());
+    }
+
+    #[test]
+    fn timings_gated_only_on_request() {
+        let old = doc("fig09", 1000, 100, 0.010);
+        let new = doc("fig09", 1000, 100, 0.100);
+        assert!(gate(&old, &new, 5.0, false).unwrap().regressions.is_empty());
+        let strict = gate(&old, &new, 5.0, true).unwrap();
+        assert_eq!(strict.regressions.len(), 1);
+        assert_eq!(strict.regressions[0].metric, "wall_secs");
+    }
+
+    #[test]
+    fn workload_mismatch_is_an_error_not_a_regression() {
+        let old = doc("fig09", 1000, 100, 0.08);
+        assert!(gate(&old, &doc("fig09", 2000, 100, 0.08), 5.0, false).is_err());
+        assert!(gate(&old, &doc("fig10", 1000, 100, 0.08), 5.0, false).is_err());
+    }
+
+    #[test]
+    fn diff_renders_moved_counters() {
+        let old = doc("fig09", 1000, 100, 0.08);
+        let new = doc("fig09", 1000, 120, 0.09);
+        let text = render_diff(&diff(&old, &new), false, 5.0);
+        assert!(text.contains("stats.nodes_checked"), "{text}");
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("+20.0%"), "{text}");
+        assert!(!text.contains("wall_secs"), "timings hidden by default: {text}");
+    }
+
+    #[test]
+    fn explain_folds_iterations_and_checks() {
+        let mk = |name: &str, seq, parent, dur, args: Vec<(&str, Json)>| TraceRecord {
+            name: name.to_owned(),
+            tid: 1,
+            seq,
+            parent,
+            ts_ns: seq * 10,
+            dur_ns: dur,
+            args: args.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        };
+        let records = vec![
+            mk("search", 1, None, 5_000, vec![("algo", "basic".into()), ("k", Json::Int(2))]),
+            mk(
+                "iteration",
+                2,
+                Some(1),
+                4_000,
+                vec![
+                    ("arity", Json::Int(1)),
+                    ("candidates", Json::Int(3)),
+                    ("edges", Json::Int(2)),
+                    ("survivors", Json::Int(3)),
+                ],
+            ),
+            mk(
+                "check",
+                3,
+                Some(2),
+                1_000,
+                vec![("via", "scan".into()), ("anonymous", Json::Bool(true))],
+            ),
+            mk(
+                "check",
+                4,
+                Some(2),
+                1_000,
+                vec![("via", "rollup".into()), ("anonymous", Json::Bool(false))],
+            ),
+        ];
+        let text = explain_trace(&records);
+        assert!(text.contains("basic"), "{text}");
+        let row = text.lines().find(|l| l.trim_start().starts_with('1')).unwrap();
+        // arity=1, 3 candidates, 2 edges, 1 scan, 1 rollup, 0 other, 1 anon, 3 survivors.
+        let cells: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(&cells[..8], &["1", "3", "2", "1", "1", "0", "1", "3"]);
+        assert!(text.contains("span profile"), "{text}");
+    }
+}

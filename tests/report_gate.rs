@@ -1,0 +1,130 @@
+//! End-to-end test of the `incognito-report` regression gate: identical
+//! reports pass (exit 0), a synthetically injected over-threshold
+//! counter regression fails (exit 1), and a workload mismatch is a
+//! usage error (exit 2), matching the contract in
+//! `src/bin/incognito_report.rs`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use incognito::obs::Json;
+
+/// A minimal but schema-faithful `BENCH_*.json` document.
+fn bench_doc(rows: i64, nodes_checked: i64, wall: f64) -> String {
+    let mut run = Json::obj();
+    run.set("label", "Basic Incognito");
+    run.set("dataset", "adults");
+    run.set("k", 2i64);
+    run.set("qi_arity", 5i64);
+    run.set("wall_secs", wall);
+    run.set("generalizations", 65i64);
+    let mut stats = Json::obj();
+    stats.set("nodes_checked", nodes_checked);
+    stats.set("table_scans", 80i64);
+    run.set("stats", stats);
+    let mut doc = Json::obj();
+    doc.set("name", "gate_selftest");
+    doc.set("report_version", 1i64);
+    doc.set("unix_time", 0i64);
+    doc.set("git", "test");
+    doc.set("rows_adults", rows);
+    doc.set("runs", Json::Arr(vec![run]));
+    doc.to_pretty_string()
+}
+
+fn write_doc(dir: &Path, text: &str) {
+    fs::create_dir_all(dir).unwrap();
+    fs::write(dir.join("BENCH_gate_selftest.json"), text).unwrap();
+}
+
+fn run_gate(baseline: &Path, candidate: &Path, threshold: &str) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_incognito-report"))
+        .args([
+            "gate",
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--candidate",
+            candidate.to_str().unwrap(),
+            "--threshold",
+            threshold,
+        ])
+        .output()
+        .expect("spawn incognito-report");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn gate_binary_exit_codes_match_the_contract() {
+    let tmp: PathBuf =
+        std::env::temp_dir().join(format!("incognito_gate_test_{}", std::process::id()));
+    let baseline = tmp.join("baseline");
+    let candidate = tmp.join("candidate");
+    write_doc(&baseline, &bench_doc(1000, 100, 0.010));
+
+    // Identical candidate: clean pass.
+    write_doc(&candidate, &bench_doc(1000, 100, 0.010));
+    let (code, stdout, _) = run_gate(&baseline, &candidate, "10");
+    assert_eq!(code, Some(0), "identical reports must pass\n{stdout}");
+    assert!(stdout.contains("gate: PASS"), "{stdout}");
+
+    // Injected +20% nodes_checked at threshold 10%: regression, exit 1.
+    write_doc(&candidate, &bench_doc(1000, 120, 0.010));
+    let (code, stdout, stderr) = run_gate(&baseline, &candidate, "10");
+    assert_eq!(code, Some(1), "regression must fail\n{stdout}{stderr}");
+    assert!(stderr.contains("REGRESSION") && stderr.contains("stats.nodes_checked"), "{stderr}");
+
+    // The same movement under a generous threshold passes.
+    let (code, _, _) = run_gate(&baseline, &candidate, "25");
+    assert_eq!(code, Some(0), "within-threshold movement must pass");
+
+    // A slower wall clock alone never fails without --gate-timings.
+    write_doc(&candidate, &bench_doc(1000, 100, 5.0));
+    let (code, _, _) = run_gate(&baseline, &candidate, "10");
+    assert_eq!(code, Some(0), "timings are not gated by default");
+
+    // Different workload (row count): mismatch, exit 2 — not a regression.
+    write_doc(&candidate, &bench_doc(2000, 100, 0.010));
+    let (code, _, stderr) = run_gate(&baseline, &candidate, "10");
+    assert_eq!(code, Some(2), "workload mismatch must be a usage error\n{stderr}");
+    assert!(stderr.contains("mismatch"), "{stderr}");
+
+    // Missing candidate report: IO error, exit 2.
+    fs::remove_file(candidate.join("BENCH_gate_selftest.json")).unwrap();
+    let (code, _, _) = run_gate(&baseline, &candidate, "10");
+    assert_eq!(code, Some(2), "missing candidate must be a usage error");
+
+    fs::remove_dir_all(&tmp).unwrap();
+}
+
+#[test]
+fn diff_subcommand_prints_the_delta_table() {
+    let tmp: PathBuf =
+        std::env::temp_dir().join(format!("incognito_diff_test_{}", std::process::id()));
+    fs::create_dir_all(&tmp).unwrap();
+    let old = tmp.join("old.json");
+    let new = tmp.join("new.json");
+    fs::write(&old, bench_doc(1000, 100, 0.010)).unwrap();
+    fs::write(&new, bench_doc(1000, 120, 0.012)).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_incognito-report"))
+        .args(["diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .expect("spawn incognito-report");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("stats.nodes_checked") && stdout.contains("+20.0%"), "{stdout}");
+    fs::remove_dir_all(&tmp).unwrap();
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_incognito-report"))
+        .output()
+        .expect("spawn incognito-report");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
