@@ -9,7 +9,8 @@
 //! being described.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin fig09_datasets
-//!         [--rows-adults N] [--rows-landsend N] [--quick] [--trace [path]]`
+//!         [--rows-adults N] [--rows-landsend N] [--threads N] [--quick]
+//!         [--trace [path]]`
 
 use incognito_bench::{init_tracing, write_trace, Algo, BenchReport, Cli, Series};
 use incognito_data::{adults, landsend};
@@ -32,10 +33,12 @@ fn main() {
     let cli = Cli::from_env();
     let adults_cfg = cli.adults_config();
     let landsend_cfg = cli.landsend_config(100_000);
+    let threads = cli.threads();
     let trace = init_tracing(&cli, "fig09_datasets");
     let mut report = BenchReport::new("fig09_datasets");
     report.set("rows_adults", adults_cfg.rows);
     report.set("rows_landsend", landsend_cfg.rows);
+    report.set("threads", threads);
 
     let a = adults::adults(&adults_cfg);
     describe("fig09_adults", &a);
@@ -44,7 +47,7 @@ fn main() {
         a.num_rows()
     );
     let qi: Vec<usize> = (0..5).collect();
-    let (r, wall) = Algo::BasicIncognito.run(&a, &qi, 2);
+    let (r, wall) = Algo::BasicIncognito.run_with_threads(&a, &qi, 2, threads);
     report.record_run("Basic Incognito", "adults", 2, qi.len(), &r, wall);
     drop(a);
 
@@ -55,7 +58,7 @@ fn main() {
         l.num_rows()
     );
     let qi: Vec<usize> = (0..5).collect();
-    let (r, wall) = Algo::BasicIncognito.run(&l, &qi, 2);
+    let (r, wall) = Algo::BasicIncognito.run_with_threads(&l, &qi, 2, threads);
     report.record_run("Basic Incognito", "landsend", 2, qi.len(), &r, wall);
 
     report.finish();

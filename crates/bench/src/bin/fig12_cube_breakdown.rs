@@ -9,7 +9,8 @@
 //! cost once the cube is materialized is lower than Basic Incognito.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin fig12_cube_breakdown
-//!         [--rows-adults N] [--rows-landsend N] [--quick] [--trace [path]]`
+//!         [--rows-adults N] [--rows-landsend N] [--threads N] [--quick]
+//!         [--trace [path]]`
 
 use std::time::Instant;
 
@@ -19,17 +20,25 @@ use incognito_core::{incognito, Config};
 use incognito_data::{adults, landsend};
 use incognito_table::Table;
 
-fn panel(name: &str, dataset: &str, table: &Table, sizes: &[usize], report: &mut BenchReport) {
+fn panel(
+    name: &str,
+    dataset: &str,
+    table: &Table,
+    sizes: &[usize],
+    threads: usize,
+    report: &mut BenchReport,
+) {
     let mut series = Series::new(
         name,
         &["QI size", "Cube build", "Anonymization", "Cube total", "Basic Incognito"],
     );
     for &n in sizes {
         let qi: Vec<usize> = (0..n).collect();
-        let cfg = Config::new(2);
+        let cfg = Config::new(2).with_threads(threads);
 
         let t0 = Instant::now();
-        let cube = Cube::build(table, &qi, cfg.k).expect("valid workload");
+        let cube =
+            Cube::build_with_threads(table, &qi, cfg.k, threads).expect("valid workload");
         let build = t0.elapsed();
         let t1 = Instant::now();
         let r = anonymize_with_cube(table, &cube, &cfg, &mut |_| {}).expect("valid workload");
@@ -66,22 +75,24 @@ fn main() {
     let adults_cfg = cli.adults_config();
     let landsend_cfg = cli.landsend_config(100_000);
 
+    let threads = cli.threads();
     let trace = init_tracing(&cli, "fig12_cube_breakdown");
     let mut report = BenchReport::new("fig12_cube_breakdown");
     report.set("rows_adults", adults_cfg.rows);
     report.set("rows_landsend", landsend_cfg.rows);
     report.set("quick", quick);
+    report.set("threads", threads);
 
     eprintln!("generating Adults ({} rows)...", adults_cfg.rows);
     let a = adults::adults(&adults_cfg);
     let adult_sizes: Vec<usize> = if quick { (3..=6).collect() } else { (3..=9).collect() };
-    panel("fig12_adults_k2", "adults", &a, &adult_sizes, &mut report);
+    panel("fig12_adults_k2", "adults", &a, &adult_sizes, threads, &mut report);
     drop(a);
 
     eprintln!("generating Lands End ({} rows)...", landsend_cfg.rows);
     let l = landsend::lands_end(&landsend_cfg);
     let lands_sizes: Vec<usize> = if quick { (3..=5).collect() } else { (3..=8).collect() };
-    panel("fig12_landsend_k2", "landsend", &l, &lands_sizes, &mut report);
+    panel("fig12_landsend_k2", "landsend", &l, &lands_sizes, threads, &mut report);
 
     report.finish();
     if let Some(path) = trace {

@@ -8,7 +8,7 @@
 //! frequency-set check stays linear in the row count.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin footnote2_distance_matrix
-//!         [--trace [path]]`
+//!         [--threads N] [--trace [path]]`
 
 use std::time::Instant;
 
@@ -22,12 +22,14 @@ use incognito_table::GroupSpec;
 fn main() {
     let cli = Cli::from_env();
     let qi = [0usize, 3, 4]; // Age × Marital × Education
-    let cfg = Config::new(2);
+    let threads = cli.threads();
+    let cfg = Config::new(2).with_threads(threads);
 
     let trace = init_tracing(&cli, "footnote2_distance_matrix");
     let mut report = BenchReport::new("footnote2_distance_matrix");
     report.set("k", cfg.k);
     report.set("qi_arity", qi.len());
+    report.set("threads", threads);
 
     let mut series = Series::new(
         "footnote2_distance_matrix",
@@ -45,7 +47,11 @@ fn main() {
 
         let t2 = Instant::now();
         let spec = GroupSpec::new(qi.iter().map(|&a| (a, 1u8)).collect()).expect("valid spec");
-        let freq = table.frequency_set(&spec).expect("valid spec");
+        let freq = if threads > 1 {
+            table.frequency_set_parallel(&spec, threads).expect("valid spec")
+        } else {
+            table.frequency_set(&spec).expect("valid spec")
+        };
         let via_freq = freq.is_k_anonymous(cfg.k);
         let freq_time = t2.elapsed();
         assert_eq!(via_matrix, via_freq, "both checks must agree");

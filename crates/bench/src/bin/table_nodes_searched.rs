@@ -17,7 +17,7 @@
 //! ```
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin table_nodes_searched
-//!         [--rows-adults N] [--k K] [--trace [path]]`
+//!         [--rows-adults N] [--k K] [--threads N] [--trace [path]]`
 
 use incognito_bench::{init_tracing, write_trace, Algo, BenchReport, Cli, Series};
 use incognito_data::adults;
@@ -27,10 +27,12 @@ fn main() {
     let k: u64 = cli.get("k").unwrap_or(2);
     let cfg = cli.adults_config();
 
+    let threads = cli.threads();
     let trace = init_tracing(&cli, "table_nodes_searched");
     let mut report = BenchReport::new("table_nodes_searched");
     report.set("rows_adults", cfg.rows);
     report.set("k", k);
+    report.set("threads", threads);
 
     eprintln!("generating Adults ({} rows)...", cfg.rows);
     let table = adults::adults(&cfg);
@@ -41,8 +43,8 @@ fn main() {
     );
     for n in 3..=9usize {
         let qi: Vec<usize> = (0..n).collect();
-        let (bu, bu_wall) = Algo::BottomUpRollup.run(&table, &qi, k);
-        let (inc, inc_wall) = Algo::BasicIncognito.run(&table, &qi, k);
+        let (bu, bu_wall) = Algo::BottomUpRollup.run_with_threads(&table, &qi, k, threads);
+        let (inc, inc_wall) = Algo::BasicIncognito.run_with_threads(&table, &qi, k, threads);
         series.push(vec![
             n.to_string(),
             bu.stats().nodes_checked().to_string(),

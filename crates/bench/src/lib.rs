@@ -74,14 +74,28 @@ impl Algo {
         }
     }
 
-    /// Run the algorithm; returns the result and wall-clock time.
+    /// Run the algorithm; returns the result and wall-clock time. Uses the
+    /// process default thread count ([`Config::default_threads`]).
     pub fn run(self, table: &Table, qi: &[usize], k: u64) -> (AnonymizationResult, Duration) {
+        self.run_with_threads(table, qi, k, Config::default_threads())
+    }
+
+    /// [`Algo::run`] with an explicit worker-thread count (the bench
+    /// binaries' `--threads N` flag).
+    pub fn run_with_threads(
+        self,
+        table: &Table,
+        qi: &[usize],
+        k: u64,
+        threads: usize,
+    ) -> (AnonymizationResult, Duration) {
         let cfg = match self {
             Algo::BottomUpNoRollup => Config::new(k).with_rollup(false),
             Algo::BottomUpRollup | Algo::BinarySearch => Config::new(k),
             Algo::BasicIncognito | Algo::CubeIncognito => Config::new(k),
             Algo::SuperRootsIncognito => Config::new(k).with_superroots(true),
         };
+        let cfg = cfg.with_threads(threads);
         let start = Instant::now();
         let result = match self {
             Algo::BottomUpNoRollup | Algo::BottomUpRollup => {
@@ -234,6 +248,15 @@ impl Cli {
         }
     }
 
+    /// Worker threads from `--threads N` (≥ 1), falling back to the
+    /// `INCOGNITO_THREADS` environment default. Recorded in `BENCH_*.json`
+    /// so reports from different thread counts are distinguishable.
+    pub fn threads(&self) -> usize {
+        self.get::<usize>("threads")
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(Config::default_threads)
+    }
+
     /// Trace output path from `--trace [path]`. `None` when the flag is
     /// absent; with the flag but no path (or the "path" is another flag),
     /// defaults to `results/TRACE_<name>.json`.
@@ -312,6 +335,16 @@ mod tests {
         assert_eq!(cli.get::<usize>("missing"), None);
         assert!(cli.has("quick"));
         assert!(!cli.has("slow"));
+    }
+
+    #[test]
+    fn cli_threads_flag() {
+        let cli = Cli { args: vec!["--threads".into(), "4".into()] };
+        assert_eq!(cli.threads(), 4);
+        let zero = Cli { args: vec!["--threads".into(), "0".into()] };
+        assert_eq!(zero.threads(), Config::default_threads());
+        let absent = Cli { args: Vec::new() };
+        assert_eq!(absent.threads(), Config::default_threads());
     }
 
     #[test]

@@ -34,40 +34,71 @@ impl Cube {
     /// Build the zero-generalization frequency sets of every non-empty
     /// subset of `qi` with a single base-table scan.
     pub fn build(table: &Table, qi: &[usize], k: u64) -> Result<Cube, AlgoError> {
+        Self::build_with_threads(table, qi, k, 1)
+    }
+
+    /// [`Cube::build`] with a worker-thread count. With `threads > 1` the
+    /// seeding scan splits by row and every popcount level of subsets
+    /// projects concurrently (one task per subset) — subsets of equal
+    /// arity derive from disjoint one-wider parents already in the cube,
+    /// so a level has no intra-level dependencies and the resulting cube
+    /// is identical to a serial build.
+    pub fn build_with_threads(
+        table: &Table,
+        qi: &[usize],
+        k: u64,
+        threads: usize,
+    ) -> Result<Cube, AlgoError> {
         let schema = table.schema().clone();
         let qi = validate_qi(&schema, qi, k)?;
         let n = qi.len();
         let mut cube_span = incognito_obs::trace::span("cube.build")
             .arg("qi_arity", n as u64);
         let start = Instant::now();
+        let pool = (threads > 1).then(|| incognito_exec::shared(threads));
 
         let mut freq: ZeroCube = ZeroCube::default();
         let full_mask: u32 = (1u32 << n) - 1;
-        let full = table.frequency_set(&GroupSpec::ground(&qi)?)?;
+        let spec = GroupSpec::ground(&qi)?;
+        let full = if threads > 1 {
+            table.frequency_set_parallel(&spec, threads)?
+        } else {
+            table.frequency_set(&spec)?
+        };
         freq.insert(full_mask, full);
 
         let mut projections = 0usize;
-        // Subsets in decreasing popcount order; each derived from the
-        // superset adding the lowest absent attribute position.
-        let mut masks: Vec<u32> = (1..=full_mask).collect();
-        masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
-        for mask in masks {
-            if mask == full_mask {
-                continue;
+        // Subsets level by level in decreasing popcount order; each derived
+        // from the superset adding the lowest absent attribute position,
+        // which sits one level up and is therefore already materialized.
+        for pc in (1..n as u32).rev() {
+            let masks: Vec<u32> =
+                (1..full_mask).filter(|m| m.count_ones() == pc).collect();
+            let project_one = |mask: u32| -> Result<FrequencySet, AlgoError> {
+                let add =
+                    (0..n as u32).find(|b| mask & (1 << b) == 0).expect("not full");
+                let parent_mask = mask | (1 << add);
+                let parent =
+                    freq.get(&parent_mask).expect("wider subsets built first");
+                // Positions (within the parent's spec) of the attributes kept.
+                let keep: Vec<usize> = (0..n)
+                    .filter(|&b| parent_mask & (1 << b) != 0)
+                    .enumerate()
+                    .filter(|&(_, b)| mask & (1 << b) != 0)
+                    .map(|(pos, _)| pos)
+                    .collect();
+                Ok(parent.project(&keep)?)
+            };
+            let projected: Vec<Result<FrequencySet, AlgoError>> = match &pool {
+                Some(pool) if masks.len() > 1 => {
+                    pool.parallel_map(&masks, |_, &m| project_one(m))
+                }
+                _ => masks.iter().map(|&m| project_one(m)).collect(),
+            };
+            for (&mask, f) in masks.iter().zip(projected) {
+                projections += 1;
+                freq.insert(mask, f?);
             }
-            let add = (0..n as u32).find(|b| mask & (1 << b) == 0).expect("not full");
-            let parent_mask = mask | (1 << add);
-            let parent = freq.get(&parent_mask).expect("wider subsets built first");
-            // Positions (within the parent's spec) of the attributes kept.
-            let keep: Vec<usize> = (0..n)
-                .filter(|&b| parent_mask & (1 << b) != 0)
-                .enumerate()
-                .filter(|&(_, b)| mask & (1 << b) != 0)
-                .map(|(pos, _)| pos)
-                .collect();
-            let projected = parent.project(&keep)?;
-            projections += 1;
-            freq.insert(mask, projected);
         }
 
         cube_span.set_arg("projections", projections as u64);
@@ -116,7 +147,7 @@ pub fn cube_incognito_traced(
     cfg: &Config,
     sink: &mut dyn FnMut(TraceEvent),
 ) -> Result<AnonymizationResult, AlgoError> {
-    let cube = Cube::build(table, qi, cfg.k)?;
+    let cube = Cube::build_with_threads(table, qi, cfg.k, cfg.threads)?;
     anonymize_with_cube(table, &cube, cfg, sink)
 }
 

@@ -2,10 +2,10 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use incognito_table::fxhash::FxHashMap;
-use incognito_table::{FrequencySet, Table};
+use incognito_table::{FrequencySet, GroupSpec, Schema, Table};
 use incognito_lattice::{generate_next, CandidateGraph, NodeId};
 
 use crate::error::validate_qi;
@@ -67,6 +67,152 @@ pub(crate) enum AltSource<'a, 't> {
     Store(&'a mut crate::materialize::FreqStore<'t>),
 }
 
+/// How one wave candidate will obtain its frequency set. Plans are decided
+/// serially against the wave-start cache state; because candidates of
+/// equal lattice height share no edges, no same-wave check can insert or
+/// evict a frequency set a sibling's plan depends on, so these plans are
+/// exactly the ones the serial engine would make one at a time
+/// (DESIGN.md §8).
+enum FreqPlan<'f> {
+    /// Rollup from a cached direct specialization's frequency set.
+    Rollup { parent: &'f FrequencySet, target: Vec<u8> },
+    /// Rollup from the zero-generalization cube (Cube Incognito).
+    Cube { zero: &'f FrequencySet, target: Vec<u8> },
+    /// Rollup from this root family's shared super-root frequency set.
+    SuperRoot { root: &'f FrequencySet, target: Vec<u8> },
+    /// Scan the base table.
+    Scan { spec: GroupSpec },
+    /// Ask the materialized store. The store caches lazily (`&mut`), so
+    /// these plans are always evaluated serially, never on the pool.
+    Store { spec: GroupSpec },
+}
+
+/// Decide how `node` gets its frequency set, mirroring the serial
+/// engine's source preference: cached-parent rollup, then cube / store /
+/// super-root, then a table scan.
+#[allow(clippy::too_many_arguments)]
+fn plan_freq<'f>(
+    node: NodeId,
+    cfg: &Config,
+    graph: &CandidateGraph,
+    in_adj: &[Vec<NodeId>],
+    cache: &'f FxHashMap<NodeId, FrequencySet>,
+    superroot_freq: &'f FxHashMap<Vec<usize>, FrequencySet>,
+    cube: Option<&'f ZeroCube>,
+    is_store: bool,
+    qi_pos: &FxHashMap<usize, usize>,
+) -> Result<FreqPlan<'f>, AlgoError> {
+    let spec = graph.node(node).to_group_spec()?;
+    if !cfg.rollup {
+        return Ok(FreqPlan::Scan { spec });
+    }
+    if let Some(parent) = in_adj[node as usize].iter().find_map(|&p| cache.get(&p)) {
+        return Ok(FreqPlan::Rollup { parent, target: graph.node(node).levels() });
+    }
+    if let Some(cube) = cube {
+        let mask =
+            graph.node(node).parts.iter().fold(0u32, |m, &(a, _)| m | (1 << qi_pos[&a]));
+        let zero = cube.get(&mask).expect("cube covers every QI subset");
+        return Ok(FreqPlan::Cube { zero, target: graph.node(node).levels() });
+    }
+    if is_store {
+        return Ok(FreqPlan::Store { spec });
+    }
+    if let Some(root) = superroot_freq.get(&graph.node(node).attr_set()) {
+        return Ok(FreqPlan::SuperRoot { root, target: graph.node(node).levels() });
+    }
+    Ok(FreqPlan::Scan { spec })
+}
+
+/// The outcome of evaluating one wave candidate; verdicts and timings are
+/// computed concurrently, then applied to the search state serially in
+/// wave order.
+struct Checked {
+    freq: FrequencySet,
+    via: CheckSource,
+    anonymous: bool,
+    scan_time: Duration,
+    rollup_time: Duration,
+}
+
+/// Evaluate one non-store plan. Reads only shared state, so it is safe on
+/// any pool worker; the `check` trace span opens on the executing thread,
+/// which is what makes multi-worker checks visible in Perfetto exports.
+fn eval_plan(
+    table: &Table,
+    schema: &Schema,
+    cfg: &Config,
+    graph: &CandidateGraph,
+    node: NodeId,
+    plan: &FreqPlan<'_>,
+    scan_threads: usize,
+) -> Result<Checked, AlgoError> {
+    let mut check_span = incognito_obs::trace::span("check");
+    if check_span.is_active() {
+        check_span.set_arg("node", crate::trace::spec_label(&graph.node(node).parts));
+    }
+    let mut scan_time = Duration::ZERO;
+    let mut rollup_time = Duration::ZERO;
+    let (freq, via) = match plan {
+        FreqPlan::Rollup { parent, target } => {
+            let t0 = Instant::now();
+            let f = parent.rollup(schema, target)?;
+            rollup_time = t0.elapsed();
+            (f, CheckSource::Rollup)
+        }
+        FreqPlan::Cube { zero, target } => {
+            let t0 = Instant::now();
+            let f = zero.rollup(schema, target)?;
+            rollup_time = t0.elapsed();
+            (f, CheckSource::Cube)
+        }
+        FreqPlan::SuperRoot { root, target } => {
+            let t0 = Instant::now();
+            let f = root.rollup(schema, target)?;
+            rollup_time = t0.elapsed();
+            (f, CheckSource::SuperRoot)
+        }
+        FreqPlan::Scan { spec } => {
+            let t0 = Instant::now();
+            let f = if scan_threads > 1 {
+                table.frequency_set_parallel(spec, scan_threads)?
+            } else {
+                table.frequency_set(spec)?
+            };
+            scan_time = t0.elapsed();
+            (f, CheckSource::TableScan)
+        }
+        FreqPlan::Store { .. } => unreachable!("store plans are evaluated serially"),
+    };
+    let anonymous = cfg.passes(&freq);
+    check_span.set_arg("via", via.as_str());
+    check_span.set_arg("anonymous", anonymous);
+    Ok(Checked { freq, via, anonymous, scan_time, rollup_time })
+}
+
+/// Evaluate one store-backed plan. Takes the store mutably (it caches the
+/// answer), hence serial.
+fn eval_store(
+    store: &mut crate::materialize::FreqStore<'_>,
+    cfg: &Config,
+    graph: &CandidateGraph,
+    node: NodeId,
+    spec: &GroupSpec,
+) -> Result<Checked, AlgoError> {
+    let mut check_span = incognito_obs::trace::span("check");
+    if check_span.is_active() {
+        check_span.set_arg("node", crate::trace::spec_label(&graph.node(node).parts));
+    }
+    let t0 = Instant::now();
+    let freq = store.frequency_set(spec)?;
+    let rollup_time = t0.elapsed();
+    let anonymous = cfg.passes(&freq);
+    let via = CheckSource::Cube;
+    check_span.set_arg("via", via.as_str());
+    check_span.set_arg("anonymous", anonymous);
+    Ok(Checked { freq, via, anonymous, scan_time: Duration::ZERO, rollup_time })
+}
+
 /// Shared engine behind Basic, Super-roots, Cube, and store-backed
 /// Incognito.
 pub(crate) fn incognito_impl(
@@ -97,6 +243,19 @@ pub(crate) fn incognito_impl(
     let mut stats = SearchStats::default();
     let mut graph = CandidateGraph::initial(&schema, &qi);
     let mut final_alive: Vec<bool> = Vec::new();
+
+    // Shared work-stealing pool for wave-parallel node checks and family
+    // scans. `None` (threads == 1) keeps the engine on the strictly serial
+    // path whose counters the committed regression baseline pins.
+    let pool = (cfg.threads > 1).then(|| incognito_exec::shared(cfg.threads));
+    // The cube is read-only during the search: hold a direct reference so
+    // wave plans can borrow zero-generalization frequency sets without
+    // touching `alt` (whose store variant needs `&mut`).
+    let cube: Option<&ZeroCube> = match &alt {
+        AltSource::Cube(c) => Some(c),
+        _ => None,
+    };
+    let is_store = matches!(alt, AltSource::Store(_));
 
     for i in 1..=n {
         let iter_start = Instant::now();
@@ -140,19 +299,39 @@ pub(crate) fn incognito_impl(
             for &r in &roots {
                 fams.entry(graph.node(r).attr_set()).or_default().push(r);
             }
-            for (attrs, fam_roots) in fams {
-                if fam_roots.len() < 2 {
-                    continue; // a lone root scans directly; no sharing to win
-                }
-                let glb = graph.family_glb(&fam_roots).expect("same family");
+            // Lone roots scan directly (no sharing to win); each multi-root
+            // family is one unit of work.
+            let work: Vec<(Vec<usize>, Vec<NodeId>)> =
+                fams.into_iter().filter(|(_, fam_roots)| fam_roots.len() >= 2).collect();
+            let scan_family = |fam_roots: &[NodeId],
+                               scan_threads: usize|
+             -> Result<(FrequencySet, Duration), AlgoError> {
+                let glb = graph.family_glb(fam_roots).expect("same family");
                 let mut sr_span = incognito_obs::trace::span("superroot.scan")
                     .arg("roots", fam_roots.len() as u64);
                 if sr_span.is_active() {
                     sr_span.set_arg("glb", crate::trace::spec_label(&glb.parts));
                 }
                 let scan_start = Instant::now();
-                let freq = cfg.scan(table, &glb.to_group_spec()?)?;
-                stats.timings.scan += scan_start.elapsed();
+                let freq = if scan_threads > 1 {
+                    table.frequency_set_parallel(&glb.to_group_spec()?, scan_threads)?
+                } else {
+                    table.frequency_set(&glb.to_group_spec()?)?
+                };
+                Ok((freq, scan_start.elapsed()))
+            };
+            let scanned: Vec<Result<(FrequencySet, Duration), AlgoError>> = match &pool {
+                // One task per family; each family's scan stays serial —
+                // the parallelism is across families. A lone family gets
+                // the row-parallel scan instead.
+                Some(pool) if work.len() > 1 => {
+                    pool.parallel_map(&work, |_, (_, fam_roots)| scan_family(fam_roots, 1))
+                }
+                _ => work.iter().map(|(_, fam_roots)| scan_family(fam_roots, cfg.threads)).collect(),
+            };
+            for ((attrs, _), out) in work.into_iter().zip(scanned) {
+                let (freq, scan_time) = out?;
+                stats.timings.scan += scan_time;
                 stats.freq_from_scan += 1;
                 stats.table_scans += 1;
                 superroot_freq.insert(attrs, freq);
@@ -210,120 +389,148 @@ pub(crate) fn incognito_impl(
             }
         };
 
-        while let Some(Reverse((_h, node))) = queue.pop() {
-            if processed[node as usize] || marked[node as usize] {
-                continue;
+        while let Some(Reverse((height, first))) = queue.pop() {
+            // Wave collection: with a pool, drain every equally-ranked
+            // ready candidate so their checks can run concurrently.
+            // Candidates of equal height share no lattice edges, so no
+            // same-wave check can mark a sibling, change its plan, or
+            // evict a cache entry it rolls up from — the wave's plans,
+            // verdicts, and counters are exactly the serial engine's
+            // (determinism contract, DESIGN.md §8). With threads == 1 a
+            // wave is the single popped node: the serial loop verbatim.
+            let mut wave: Vec<NodeId> = vec![first];
+            if pool.is_some() {
+                while let Some(&Reverse((h, id))) = queue.peek() {
+                    if h != height {
+                        break;
+                    }
+                    queue.pop();
+                    if wave.last() != Some(&id) {
+                        wave.push(id); // duplicate entries pop adjacently
+                    }
+                }
             }
-            processed[node as usize] = true;
-            let mut check_span = incognito_obs::trace::span("check");
-            if check_span.is_active() {
-                check_span.set_arg("node", crate::trace::spec_label(&graph.node(node).parts));
+            wave.retain(|&nd| !processed[nd as usize] && !marked[nd as usize]);
+            for &nd in &wave {
+                processed[nd as usize] = true;
             }
-            let spec = graph.node(node).to_group_spec()?;
 
-            // Obtain the node's frequency set: rollup from a cached direct
-            // specialization where possible, else super-root / cube / scan.
-            let (freq, via) = if cfg.rollup {
-                let parent = in_adj[node as usize]
+            // Evaluate: plan every node against the wave-start cache, run
+            // store-backed plans serially (they mutate the store) and the
+            // rest on the pool. Scans inside a multi-node wave stay serial
+            // — the parallelism is across nodes; a lone node gets the
+            // row-parallel scan instead.
+            let scan_threads = if wave.len() > 1 { 1 } else { cfg.threads };
+            let results: Vec<Result<Checked, AlgoError>> = {
+                let plans = wave
                     .iter()
-                    .find_map(|&p| cache.get(&p).map(|f| (p, f)));
-                if let Some((_pid, pfreq)) = parent {
-                    let target: Vec<u8> = graph.node(node).levels();
-                    stats.freq_from_rollup += 1;
-                    let t0 = Instant::now();
-                    let f = pfreq.rollup(&schema, &target)?;
-                    stats.timings.rollup += t0.elapsed();
-                    (f, CheckSource::Rollup)
-                } else {
-                    match &mut alt {
-                        AltSource::Cube(cube) => {
-                            let mask = graph.node(node).parts.iter().fold(0u32, |m, &(a, _)| {
-                                m | (1 << qi_pos[&a])
-                            });
-                            let zero = cube.get(&mask).expect("cube covers every QI subset");
-                            let target: Vec<u8> = graph.node(node).levels();
-                            stats.freq_from_rollup += 1;
-                            let t0 = Instant::now();
-                            let f = zero.rollup(&schema, &target)?;
-                            stats.timings.rollup += t0.elapsed();
-                            (f, CheckSource::Cube)
-                        }
-                        AltSource::Store(store) => {
-                            stats.freq_from_rollup += 1;
-                            let t0 = Instant::now();
-                            let f = store.frequency_set(&spec)?;
-                            stats.timings.rollup += t0.elapsed();
-                            (f, CheckSource::Cube)
-                        }
-                        AltSource::None => {
-                            if let Some(sr) = superroot_freq.get(&graph.node(node).attr_set()) {
-                                let target: Vec<u8> = graph.node(node).levels();
-                                stats.freq_from_rollup += 1;
-                                let t0 = Instant::now();
-                                let f = sr.rollup(&schema, &target)?;
-                                stats.timings.rollup += t0.elapsed();
-                                (f, CheckSource::SuperRoot)
-                            } else {
-                                stats.freq_from_scan += 1;
-                                stats.table_scans += 1;
-                                let t0 = Instant::now();
-                                let f = cfg.scan(table, &spec)?;
-                                stats.timings.scan += t0.elapsed();
-                                (f, CheckSource::TableScan)
-                            }
+                    .map(|&nd| {
+                        plan_freq(
+                            nd,
+                            cfg,
+                            &graph,
+                            &in_adj,
+                            &cache,
+                            &superroot_freq,
+                            cube,
+                            is_store,
+                            &qi_pos,
+                        )
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut results: Vec<Option<Result<Checked, AlgoError>>> =
+                    plans.iter().map(|_| None).collect();
+                for ((slot, &nd), plan) in results.iter_mut().zip(&wave).zip(&plans) {
+                    if let FreqPlan::Store { spec } = plan {
+                        if let AltSource::Store(store) = &mut alt {
+                            *slot = Some(eval_store(store, cfg, &graph, nd, spec));
                         }
                     }
                 }
-            } else {
-                stats.freq_from_scan += 1;
-                stats.table_scans += 1;
-                let t0 = Instant::now();
-                let f = cfg.scan(table, &spec)?;
-                stats.timings.scan += t0.elapsed();
-                (f, CheckSource::TableScan)
+                let pending: Vec<usize> =
+                    (0..wave.len()).filter(|&i| results[i].is_none()).collect();
+                match &pool {
+                    Some(pool) if pending.len() > 1 => {
+                        let outs = pool.parallel_map(&pending, |_, &i| {
+                            eval_plan(table, &schema, cfg, &graph, wave[i], &plans[i], scan_threads)
+                        });
+                        for (&i, out) in pending.iter().zip(outs) {
+                            results[i] = Some(out);
+                        }
+                    }
+                    _ => {
+                        for &i in &pending {
+                            results[i] = Some(eval_plan(
+                                table,
+                                &schema,
+                                cfg,
+                                &graph,
+                                wave[i],
+                                &plans[i],
+                                scan_threads,
+                            ));
+                        }
+                    }
+                }
+                results.into_iter().map(|r| r.expect("every wave node evaluated")).collect()
             };
 
-            let anonymous = cfg.passes(&freq);
-            check_span.set_arg("via", via.as_str());
-            check_span.set_arg("anonymous", anonymous);
-            it_stats.nodes_checked += 1;
-            sink(TraceEvent::Checked {
-                spec: graph.node(node).parts.clone(),
-                via,
-                anonymous,
-            });
-
-            if anonymous {
-                mark_from(
-                    node,
-                    &mut marked,
-                    &processed,
-                    &mut determined,
-                    &mut pending_out,
-                    &mut cache,
-                    &mut it_stats,
-                    sink,
-                );
-            } else {
-                alive[node as usize] = false;
-                for &g in graph.direct_generalizations(node) {
-                    if !processed[g as usize] && !marked[g as usize] {
-                        queue.push(Reverse((graph.node(g).height(), g)));
+            // Apply phase, strictly serial and in wave (ascending node id)
+            // order — the same order the serial heap pops — so marking,
+            // pruning, cache seeding, and eviction replay the serial
+            // engine's state transitions exactly.
+            for (&node, res) in wave.iter().zip(results) {
+                let Checked { freq, via, anonymous, scan_time, rollup_time } = res?;
+                match via {
+                    CheckSource::TableScan => {
+                        stats.freq_from_scan += 1;
+                        stats.table_scans += 1;
+                        stats.timings.scan += scan_time;
+                    }
+                    _ => {
+                        stats.freq_from_rollup += 1;
+                        stats.timings.rollup += rollup_time;
                     }
                 }
-                // Only failing nodes' frequency sets seed rollups upward —
-                // anonymous nodes' generalizations are marked, not computed.
-                if cfg.rollup && pending_out[node as usize] > 0 {
-                    cache.insert(node, freq);
-                }
-            }
+                it_stats.nodes_checked += 1;
+                sink(TraceEvent::Checked {
+                    spec: graph.node(node).parts.clone(),
+                    via,
+                    anonymous,
+                });
 
-            if !determined[node as usize] {
-                determined[node as usize] = true;
-                for &x in &in_adj[node as usize] {
-                    pending_out[x as usize] -= 1;
-                    if pending_out[x as usize] == 0 {
-                        cache.remove(&x);
+                if anonymous {
+                    mark_from(
+                        node,
+                        &mut marked,
+                        &processed,
+                        &mut determined,
+                        &mut pending_out,
+                        &mut cache,
+                        &mut it_stats,
+                        sink,
+                    );
+                } else {
+                    alive[node as usize] = false;
+                    for &g in graph.direct_generalizations(node) {
+                        if !processed[g as usize] && !marked[g as usize] {
+                            queue.push(Reverse((graph.node(g).height(), g)));
+                        }
+                    }
+                    // Only failing nodes' frequency sets seed rollups upward —
+                    // anonymous nodes' generalizations are marked, not computed.
+                    if cfg.rollup && pending_out[node as usize] > 0 {
+                        cache.insert(node, freq);
+                    }
+                }
+
+                if !determined[node as usize] {
+                    determined[node as usize] = true;
+                    for &x in &in_adj[node as usize] {
+                        pending_out[x as usize] -= 1;
+                        if pending_out[x as usize] == 0 {
+                            cache.remove(&x);
+                        }
                     }
                 }
             }

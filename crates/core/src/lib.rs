@@ -70,14 +70,19 @@ pub struct Config {
     /// Enable rollup from parent frequency sets. Incognito always benefits;
     /// exposed so the rollup ablation can switch it off.
     pub rollup: bool,
-    /// Worker threads for base-table scans (1 = serial). Rollups and graph
-    /// generation are cheap relative to scans, so only scans parallelize.
+    /// Worker threads (1 = serial). With more than one thread the search
+    /// evaluates each wave of equally-ranked candidates concurrently on the
+    /// shared [`incognito_exec`] pool, super-root family scans and zero-cube
+    /// projections fan out one task per family/subset, and lone-node scans
+    /// split by row. The result set and every counter are identical to a
+    /// serial run (DESIGN.md §8).
     pub threads: usize,
 }
 
 impl Config {
     /// Configuration for a plain k with no suppression: Basic Incognito
-    /// defaults (hash-tree prune, no super-roots, rollup on).
+    /// defaults (hash-tree prune, no super-roots, rollup on). The thread
+    /// count comes from [`Config::default_threads`].
     pub fn new(k: u64) -> Self {
         Config {
             k,
@@ -85,8 +90,22 @@ impl Config {
             prune: PruneStrategy::HashTree,
             superroots: false,
             rollup: true,
-            threads: 1,
+            threads: Self::default_threads(),
         }
+    }
+
+    /// The process-wide default thread count: `INCOGNITO_THREADS` when set
+    /// to a positive integer, else 1 (serial). Read once and cached so a
+    /// mid-run environment change can't split engines across thread counts.
+    pub fn default_threads() -> usize {
+        static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *DEFAULT.get_or_init(|| {
+            std::env::var("INCOGNITO_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1)
+        })
     }
 
     /// Set the suppression threshold.

@@ -1,0 +1,156 @@
+//! Lifecycle and safety tests for the work-stealing executor: clean
+//! shutdown, panic propagation out of scopes and maps, and nested-scope
+//! scheduling (a task opening a fresh scope on the same pool must make
+//! progress even when every worker is busy).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use incognito_exec::{shared, Executor};
+
+#[test]
+fn drop_joins_all_workers() {
+    // Dropping a pool with queued-and-finished work must not hang or leak
+    // threads that outlive the handle; repeat to shake out races between
+    // the shutdown flag and parked workers.
+    for round in 0..20 {
+        let pool = Executor::new(4);
+        let n = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..32 {
+                let n = &n;
+                s.spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 32, "round {round}");
+        drop(pool); // must return promptly (join), not deadlock
+    }
+}
+
+#[test]
+fn pool_survives_idle_periods() {
+    let pool = Executor::new(3);
+    for _ in 0..3 {
+        let out = pool.parallel_map(&[1u64, 2, 3, 4, 5], |_, &x| x * 2);
+        assert_eq!(out, vec![2, 4, 6, 8, 10]);
+        // Let workers park between bursts; the next burst must wake them.
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn scope_propagates_task_panic_after_joining_siblings() {
+    let pool = Executor::new(4);
+    let siblings = Arc::new(AtomicU64::new(0));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            for i in 0..16 {
+                let siblings = Arc::clone(&siblings);
+                s.spawn(move || {
+                    if i == 7 {
+                        panic!("boom from task 7");
+                    }
+                    siblings.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }));
+    let payload = result.expect_err("task panic must cross the scope");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "boom from task 7");
+    // The panic must not have cancelled the sibling tasks.
+    assert_eq!(siblings.load(Ordering::Relaxed), 15);
+}
+
+#[test]
+fn parallel_map_propagates_panic() {
+    let pool = Executor::new(2);
+    let items: Vec<u64> = (0..8).collect();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.parallel_map(&items, |_, &x| {
+            if x == 3 {
+                panic!("map panic");
+            }
+            x
+        })
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn scope_closure_panic_still_joins_spawned_tasks() {
+    let pool = Executor::new(4);
+    let ran = Arc::new(AtomicU64::new(0));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let ran = Arc::clone(&ran);
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            panic!("scope closure panics after spawning");
+        });
+    }));
+    assert!(result.is_err());
+    // scope() must have joined the tasks before re-raising — otherwise the
+    // lifetime-erased closures would be running with a dead stack frame.
+    assert_eq!(ran.load(Ordering::Relaxed), 8);
+}
+
+#[test]
+fn nested_scopes_on_the_same_pool_make_progress() {
+    // Every task opens an inner scope; with 2 threads total, workers must
+    // help-run inner tasks while waiting, or this deadlocks.
+    let pool = Executor::new(2);
+    let total = AtomicU64::new(0);
+    pool.scope(|outer| {
+        for _ in 0..4 {
+            let total = &total;
+            let pool = &pool;
+            outer.spawn(move || {
+                pool.scope(|inner| {
+                    for _ in 0..4 {
+                        inner.spawn(move || {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 16);
+}
+
+#[test]
+fn nested_parallel_map_inside_map_task() {
+    let pool = shared(4);
+    let outer: Vec<u64> = (0..6).collect();
+    let out = pool.parallel_map(&outer, |_, &x| {
+        let inner: Vec<u64> = (0..x + 1).collect();
+        pool.parallel_map(&inner, |_, &y| y).iter().sum::<u64>()
+    });
+    let expect: Vec<u64> = outer.iter().map(|&x| x * (x + 1) / 2).collect();
+    assert_eq!(out, expect);
+}
+
+#[test]
+fn concurrent_scopes_from_independent_threads() {
+    let pool = shared(3);
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                let items: Vec<u64> = (0..50).map(|i| i + t).collect();
+                let out = pool.parallel_map(&items, |_, &x| x * 3);
+                let expect: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+                assert_eq!(out, expect);
+            });
+        }
+    });
+}

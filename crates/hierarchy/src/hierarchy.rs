@@ -58,6 +58,12 @@ pub struct Hierarchy {
     ground_to: Vec<Vec<ValueId>>,
     /// Lookup from ground label to ground id.
     ground_index: HashMap<String, ValueId>,
+    /// `between[from][to - from][id_at_from]` = id at `to`: every composed
+    /// γ⁺ gather array, materialized once at construction. Rollup asks for
+    /// these once per checked lattice node, so rebuilding them per call
+    /// (composing the parent maps each time) was measurable search-loop
+    /// overhead.
+    between: Vec<Vec<Vec<ValueId>>>,
 }
 
 impl Hierarchy {
@@ -154,12 +160,27 @@ impl Hierarchy {
             .map(|(i, l)| (l.clone(), i as ValueId))
             .collect();
 
+        // Precompute every composed γ⁺ gather array `from → to` by
+        // extending `from → to-1` with one parent-map step.
+        let mut between: Vec<Vec<Vec<ValueId>>> = Vec::with_capacity(built_levels.len());
+        for from in 0..built_levels.len() {
+            let mut maps = Vec::with_capacity(built_levels.len() - from);
+            maps.push((0..built_levels[from].len() as u32).collect::<Vec<_>>());
+            for to in from + 1..built_levels.len() {
+                let step = &parent_maps[to - 1];
+                let prev = maps.last().expect("identity map seeded");
+                maps.push(prev.iter().map(|&id| step[id as usize]).collect());
+            }
+            between.push(maps);
+        }
+
         Ok(Hierarchy {
             name,
             levels: built_levels,
             parent: parent_maps,
             ground_to,
             ground_index,
+            between,
         })
     }
 
@@ -253,22 +274,16 @@ impl Hierarchy {
         Ok(cur)
     }
 
-    /// Materialize the full γ⁺ gather array from `from` to `to`:
+    /// The full γ⁺ gather array from `from` to `to`:
     /// `result[id_at_from] = id_at_to`. This is how the Rollup Property is
     /// executed over frequency sets — the in-memory analogue of joining a
-    /// frequency set with a dimension table.
-    pub fn between_map(&self, from: LevelNo, to: LevelNo) -> Result<Vec<ValueId>, HierarchyError> {
+    /// frequency set with a dimension table. All `(from, to)` pairs are
+    /// materialized at construction, so this is an O(1) borrow.
+    pub fn between_map(&self, from: LevelNo, to: LevelNo) -> Result<&[ValueId], HierarchyError> {
         if to > self.height() || from > to {
             return Err(HierarchyError::LevelOutOfRange { level: to, height: self.height() });
         }
-        let mut map: Vec<ValueId> = (0..self.level_size(from) as u32).collect();
-        for l in from..to {
-            let step = &self.parent[l as usize];
-            for v in map.iter_mut() {
-                *v = step[*v as usize];
-            }
-        }
-        Ok(map)
+        Ok(&self.between[from as usize][(to - from) as usize])
     }
 
     /// Label of value `id` at `level`.

@@ -121,8 +121,24 @@ impl GroupKey {
     /// Panics if the key is already [`MAX_KEY_ATTRS`] wide.
     #[inline]
     pub fn push(&mut self, id: ValueId) {
+        assert!(
+            (self.len as usize) < MAX_KEY_ATTRS,
+            "GroupKey::push: key already holds MAX_KEY_ATTRS ({MAX_KEY_ATTRS}) components"
+        );
         self.vals[self.len as usize] = id;
         self.len += 1;
+    }
+
+    /// Append one component, reporting overflow as [`TableError::KeyTooWide`]
+    /// instead of panicking.
+    #[inline]
+    pub fn try_push(&mut self, id: ValueId) -> Result<(), TableError> {
+        if (self.len as usize) >= MAX_KEY_ATTRS {
+            return Err(TableError::KeyTooWide(self.len as usize + 1));
+        }
+        self.vals[self.len as usize] = id;
+        self.len += 1;
+        Ok(())
     }
 
     /// The key's components.
@@ -152,6 +168,106 @@ impl Hash for GroupKey {
     }
 }
 
+/// Upper bound on dense-accumulator slots: aggregate into a flat
+/// `Vec<u64>` (512 KiB of counts) instead of a hash map whenever the key
+/// space is at most this large. Chosen to stay comfortably inside L2 so
+/// the dense kernel's random writes stay cheap.
+const DENSE_MAX_SLOTS: u64 = 1 << 16;
+
+/// Rows sampled from the head of a scan before sizing its hash map.
+const SCAN_SAMPLE_ROWS: usize = 1024;
+
+/// Mixed-radix layout over a key space with known per-position
+/// cardinalities: packs a [`GroupKey`] into a single `u64` when the
+/// product of cardinalities fits, and tells aggregation kernels when the
+/// space is small enough for a flat dense accumulator.
+struct KeySpace {
+    /// Row-major strides: `strides[i]` = product of cardinalities of the
+    /// positions after `i` (`strides.last() == 1`).
+    strides: Vec<u64>,
+    /// Total number of distinct packed keys, `None` when it overflows
+    /// `u64` (packing impossible; callers fall back to hashed group keys).
+    slots: Option<u64>,
+}
+
+impl KeySpace {
+    /// Layout for per-position cardinalities `dims` (each ≥ 1).
+    fn new(dims: &[u64]) -> KeySpace {
+        let mut strides = vec![1u64; dims.len()];
+        let mut slots: Option<u64> = Some(1);
+        for i in (0..dims.len()).rev() {
+            // A stride of 0 is unused: packing is disabled once overflowed.
+            strides[i] = slots.unwrap_or(0);
+            slots = slots.and_then(|s| s.checked_mul(dims[i]));
+        }
+        KeySpace { strides, slots }
+    }
+
+    /// Layout of the scan key space of `spec`: one dimension per part,
+    /// sized by the attribute's domain at the grouped level.
+    fn for_spec(schema: &Schema, spec: &GroupSpec) -> KeySpace {
+        let dims: Vec<u64> =
+            spec.parts.iter().map(|&(a, l)| schema.hierarchy(a).level_size(l) as u64).collect();
+        KeySpace::new(&dims)
+    }
+
+    /// Whether the whole space fits a dense `Vec<u64>` accumulator.
+    fn is_dense(&self) -> bool {
+        self.slots.is_some_and(|s| s <= DENSE_MAX_SLOTS)
+    }
+
+    /// Whether keys pack into a single `u64`.
+    fn is_packable(&self) -> bool {
+        self.slots.is_some()
+    }
+
+    /// Number of dense slots.
+    ///
+    /// # Panics
+    /// Panics if the space is not packable.
+    fn len(&self) -> usize {
+        self.slots.expect("dense key space") as usize
+    }
+
+    /// Invert [`GroupKey`] packing: decode a packed index back into a key.
+    fn unpack(&self, mut idx: u64) -> GroupKey {
+        let mut key = GroupKey::default();
+        for &stride in &self.strides {
+            let v = idx / stride;
+            idx -= v * stride;
+            key.push(v as ValueId);
+        }
+        key
+    }
+
+    /// Convert a dense accumulator into the hash-map representation,
+    /// sized exactly to the occupied slots.
+    fn gather(&self, dense: &[u64]) -> FxHashMap<GroupKey, u64> {
+        let occupied = dense.iter().filter(|&&c| c != 0).count();
+        let mut out: FxHashMap<GroupKey, u64> =
+            FxHashMap::with_capacity_and_hasher(occupied, Default::default());
+        for (idx, &c) in dense.iter().enumerate() {
+            if c != 0 {
+                out.insert(self.unpack(idx as u64), c);
+            }
+        }
+        out
+    }
+}
+
+/// Estimate the number of distinct groups in `nrows` rows given that the
+/// first `sample` rows held `seen` distinct groups. When the sample is
+/// already saturated (few distinct values) the group count has plateaued,
+/// so a small headroom factor suffices; otherwise extrapolate linearly.
+/// Only a sizing hint — correctness never depends on it.
+fn estimate_groups(nrows: usize, seen: usize, sample: usize) -> usize {
+    if sample == 0 || seen == 0 {
+        return 0;
+    }
+    let est = if seen * 4 <= sample { seen * 2 } else { seen * (nrows / sample).max(1) };
+    est.min(nrows)
+}
+
 /// The frequency set of a table with respect to a [`GroupSpec`].
 #[derive(Debug, Clone)]
 pub struct FrequencySet {
@@ -175,17 +291,74 @@ impl FrequencySet {
             .map(|&(a, l)| schema.hierarchy(a).map_to_level(l))
             .collect();
         let cols: Vec<&[ValueId]> = spec.parts.iter().map(|&(a, _)| table.column(a)).collect();
-        let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
         let nrows = table.num_rows();
-        for row in 0..nrows {
-            let mut key = GroupKey::default();
-            for (col, map) in cols.iter().zip(&maps) {
-                key.push(map[col[row] as usize]);
-            }
-            *counts.entry(key).or_insert(0) += 1;
-        }
+        let space = KeySpace::for_spec(schema, spec);
+        let counts = Self::scan_rows(&cols, &maps, 0..nrows, &space);
         tspan.set_arg("groups", counts.len() as u64);
         FrequencySet { spec: spec.clone(), counts, total: nrows as u64 }
+    }
+
+    /// Aggregate one contiguous row range into a group-count map, choosing
+    /// the cheapest kernel the key space allows: a flat dense array, a
+    /// packed-`u64` hash map, or hashed [`GroupKey`]s. All three produce
+    /// identical counts; hashed kernels pre-size themselves from a sampled
+    /// group-count estimate instead of growing through rehash storms.
+    fn scan_rows(
+        cols: &[&[ValueId]],
+        maps: &[&[ValueId]],
+        rows: std::ops::Range<usize>,
+        space: &KeySpace,
+    ) -> FxHashMap<GroupKey, u64> {
+        let nrows = rows.len();
+        if space.is_packable() {
+            let pack = |row: usize| -> u64 {
+                let mut idx = 0u64;
+                for ((col, map), &stride) in cols.iter().zip(maps).zip(&space.strides) {
+                    idx += map[col[row] as usize] as u64 * stride;
+                }
+                idx
+            };
+            if space.is_dense() {
+                incognito_obs::incr("table.scan.dense");
+                let mut dense = vec![0u64; space.len()];
+                for row in rows {
+                    dense[pack(row) as usize] += 1;
+                }
+                return space.gather(&dense);
+            }
+            incognito_obs::incr("table.scan.packed");
+            let mut packed: FxHashMap<u64, u64> = FxHashMap::default();
+            let sample = nrows.min(SCAN_SAMPLE_ROWS);
+            for row in rows.start..rows.start + sample {
+                *packed.entry(pack(row)).or_insert(0) += 1;
+            }
+            packed
+                .reserve(estimate_groups(nrows, packed.len(), sample).saturating_sub(packed.len()));
+            for row in rows.start + sample..rows.end {
+                *packed.entry(pack(row)).or_insert(0) += 1;
+            }
+            let mut counts: FxHashMap<GroupKey, u64> =
+                FxHashMap::with_capacity_and_hasher(packed.len(), Default::default());
+            counts.extend(packed.into_iter().map(|(idx, c)| (space.unpack(idx), c)));
+            return counts;
+        }
+        let key_of = |row: usize| -> GroupKey {
+            let mut key = GroupKey::default();
+            for (col, map) in cols.iter().zip(maps) {
+                key.push(map[col[row] as usize]);
+            }
+            key
+        };
+        let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
+        let sample = nrows.min(SCAN_SAMPLE_ROWS);
+        for row in rows.start..rows.start + sample {
+            *counts.entry(key_of(row)).or_insert(0) += 1;
+        }
+        counts.reserve(estimate_groups(nrows, counts.len(), sample).saturating_sub(counts.len()));
+        for row in rows.start + sample..rows.end {
+            *counts.entry(key_of(row)).or_insert(0) += 1;
+        }
+        counts
     }
 
     /// Compute by scanning `table` with `threads` worker threads: rows are
@@ -215,30 +388,25 @@ impl FrequencySet {
         let cols: Vec<&[ValueId]> = spec.parts.iter().map(|&(a, _)| table.column(a)).collect();
 
         let chunk = nrows.div_ceil(threads);
+        let space = KeySpace::for_spec(schema, spec);
         let mut shards: Vec<FxHashMap<GroupKey, u64>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let maps = &maps;
                     let cols = &cols;
+                    let space = &space;
                     scope.spawn(move || {
                         let lo = t * chunk;
                         let hi = ((t + 1) * chunk).min(nrows);
-                        let mut local: FxHashMap<GroupKey, u64> = FxHashMap::default();
-                        for row in lo..hi {
-                            let mut key = GroupKey::default();
-                            for (col, map) in cols.iter().zip(maps.iter()) {
-                                key.push(map[col[row] as usize]);
-                            }
-                            *local.entry(key).or_insert(0) += 1;
-                        }
-                        local
+                        Self::scan_rows(cols, maps, lo..hi, space)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
         });
 
-        // Merge into the largest shard to minimize rehashing.
+        // Merge into the largest shard to minimize rehashing, reserving
+        // for the worst case (all groups distinct across shards) up front.
         let biggest = shards
             .iter()
             .enumerate()
@@ -246,6 +414,7 @@ impl FrequencySet {
             .map(|(i, _)| i)
             .expect("at least one shard");
         let mut counts = shards.swap_remove(biggest);
+        counts.reserve(shards.iter().map(|s| s.len()).sum());
         for shard in shards {
             for (k, c) in shard {
                 *counts.entry(k).or_insert(0) += c;
@@ -328,7 +497,7 @@ impl FrequencySet {
                 self.spec.len()
             )));
         }
-        let mut maps: Vec<Vec<ValueId>> = Vec::with_capacity(target.len());
+        let mut maps: Vec<&[ValueId]> = Vec::with_capacity(target.len());
         for (&(a, from), &to) in self.spec.parts.iter().zip(target) {
             let h = schema.hierarchy(a);
             if to < from {
@@ -336,6 +505,7 @@ impl FrequencySet {
                     "cannot roll attribute {a} down from level {from} to {to}"
                 )));
             }
+            // Memoized at hierarchy construction — an O(1) borrow per part.
             let m = h.between_map(from, to).map_err(|_| TableError::LevelOutOfRange {
                 attribute: schema.attribute(a).name().to_string(),
                 level: to,
@@ -343,14 +513,38 @@ impl FrequencySet {
             })?;
             maps.push(m);
         }
-        let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
-        for (key, &c) in &self.counts {
-            let mut out = GroupKey::default();
-            for (&v, map) in key.as_slice().iter().zip(&maps) {
-                out.push(map[v as usize]);
+        let dims: Vec<u64> = self
+            .spec
+            .parts
+            .iter()
+            .zip(target)
+            .map(|(&(a, _), &to)| schema.hierarchy(a).level_size(to) as u64)
+            .collect();
+        let space = KeySpace::new(&dims);
+        let counts = if space.is_dense() {
+            incognito_obs::incr("table.rollup.dense");
+            let mut dense = vec![0u64; space.len()];
+            for (key, &c) in &self.counts {
+                let mut idx = 0u64;
+                for ((&v, map), &stride) in key.as_slice().iter().zip(&maps).zip(&space.strides) {
+                    idx += map[v as usize] as u64 * stride;
+                }
+                dense[idx as usize] += c;
             }
-            *counts.entry(out).or_insert(0) += c;
-        }
+            space.gather(&dense)
+        } else {
+            // Output groups never outnumber input groups (γ only merges).
+            let mut counts: FxHashMap<GroupKey, u64> =
+                FxHashMap::with_capacity_and_hasher(self.counts.len(), Default::default());
+            for (key, &c) in &self.counts {
+                let mut out = GroupKey::default();
+                for (&v, map) in key.as_slice().iter().zip(&maps) {
+                    out.push(map[v as usize]);
+                }
+                *counts.entry(out).or_insert(0) += c;
+            }
+            counts
+        };
         let spec = GroupSpec::new(
             self.spec
                 .parts
@@ -384,15 +578,44 @@ impl FrequencySet {
             }
             prev = Some(p);
         }
-        let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
-        for (key, &c) in &self.counts {
+        // `project` has no schema in scope, so derive the kept positions'
+        // cardinalities from the data: one cheap hash-free max pass.
+        let mut dims = vec![0u64; keep.len()];
+        for key in self.counts.keys() {
             let slice = key.as_slice();
-            let mut out = GroupKey::default();
-            for &p in keep {
-                out.push(slice[p]);
+            for (d, &p) in dims.iter_mut().zip(keep) {
+                *d = (*d).max(slice[p] as u64);
             }
-            *counts.entry(out).or_insert(0) += c;
         }
+        for d in &mut dims {
+            *d += 1;
+        }
+        let space = KeySpace::new(&dims);
+        let counts = if space.is_dense() {
+            incognito_obs::incr("table.project.dense");
+            let mut dense = vec![0u64; space.len()];
+            for (key, &c) in &self.counts {
+                let slice = key.as_slice();
+                let mut idx = 0u64;
+                for (&p, &stride) in keep.iter().zip(&space.strides) {
+                    idx += slice[p] as u64 * stride;
+                }
+                dense[idx as usize] += c;
+            }
+            space.gather(&dense)
+        } else {
+            let mut counts: FxHashMap<GroupKey, u64> =
+                FxHashMap::with_capacity_and_hasher(self.counts.len(), Default::default());
+            for (key, &c) in &self.counts {
+                let slice = key.as_slice();
+                let mut out = GroupKey::default();
+                for &p in keep {
+                    out.push(slice[p]);
+                }
+                *counts.entry(out).or_insert(0) += c;
+            }
+            counts
+        };
         let spec = GroupSpec::new(keep.iter().map(|&p| self.spec.parts[p]).collect())?;
         incognito_obs::incr("table.project.count");
         incognito_obs::add("table.project.groups_in", self.counts.len() as u64);
@@ -480,6 +703,105 @@ mod tests {
         d.push(1);
         d.push(2);
         assert_eq!(c, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_KEY_ATTRS")]
+    fn group_key_push_panics_past_max_width() {
+        let mut k = GroupKey::from_slice(&[0; MAX_KEY_ATTRS]);
+        k.push(1);
+    }
+
+    #[test]
+    fn group_key_try_push_reports_overflow() {
+        let mut k = GroupKey::default();
+        for i in 0..MAX_KEY_ATTRS as u32 {
+            assert!(k.try_push(i).is_ok());
+        }
+        assert!(matches!(k.try_push(99), Err(TableError::KeyTooWide(_))));
+        // The failed push must not have corrupted the key.
+        assert_eq!(k.as_slice().len(), MAX_KEY_ATTRS);
+        assert_eq!(k.as_slice()[MAX_KEY_ATTRS - 1], MAX_KEY_ATTRS as u32 - 1);
+    }
+
+    #[test]
+    fn key_space_pack_roundtrip() {
+        let space = KeySpace::new(&[3, 5, 2]);
+        assert!(space.is_dense());
+        assert_eq!(space.len(), 30);
+        for idx in 0..30u64 {
+            let key = space.unpack(idx);
+            let mut back = 0u64;
+            for (&v, &s) in key.as_slice().iter().zip(&space.strides) {
+                back += v as u64 * s;
+            }
+            assert_eq!(back, idx);
+            assert!(key.as_slice().iter().zip([3u32, 5, 2]).all(|(&v, d)| v < d));
+        }
+    }
+
+    #[test]
+    fn key_space_overflow_disables_packing() {
+        // 5 dims of 2^13 = 2^65 > u64::MAX: no packing, no dense kernel.
+        let space = KeySpace::new(&[1 << 13; 5]);
+        assert!(!space.is_packable());
+        assert!(!space.is_dense());
+        // Just over the dense cutoff: packable but not dense.
+        let space = KeySpace::new(&[DENSE_MAX_SLOTS + 1]);
+        assert!(space.is_packable());
+        assert!(!space.is_dense());
+        // Empty key space (projection onto nothing): one slot.
+        let space = KeySpace::new(&[]);
+        assert!(space.is_dense());
+        assert_eq!(space.len(), 1);
+        assert_eq!(space.unpack(0), GroupKey::default());
+    }
+
+    #[test]
+    fn group_estimate_is_sane() {
+        assert_eq!(estimate_groups(10_000, 0, 0), 0); // empty sample
+        assert_eq!(estimate_groups(10_000, 0, 100), 0);
+        // Saturated sample: 10 groups in 1024 rows → plateau, small headroom.
+        assert_eq!(estimate_groups(100_000, 10, 1024), 20);
+        // Every sampled row distinct → extrapolate linearly, capped at rows.
+        assert_eq!(estimate_groups(10_000, 1_000, 1_000), 10_000);
+        assert!(estimate_groups(2_000, 1_024, 1_024) <= 2_000);
+    }
+
+    #[test]
+    fn packed_scan_equals_dense_scan() {
+        // A domain big enough (300^2 = 90,000 slots) to force the
+        // packed-u64 hash kernel rather than the dense kernel, compared
+        // against a 2-attribute projection of itself and a direct scan.
+        let labels: Vec<String> = (0..300).map(|i| format!("v{i}")).collect();
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let schema = Schema::new(vec![
+            Attribute::new("a", builders::suppression("a", &label_refs).unwrap()),
+            Attribute::new("b", builders::suppression("b", &label_refs).unwrap()),
+        ])
+        .unwrap();
+        let mut cols: Vec<Vec<u32>> = vec![Vec::new(), Vec::new()];
+        for i in 0..5_000u32 {
+            cols[0].push((i * 7) % 300);
+            cols[1].push((i * 13) % 300);
+        }
+        let t = Table::from_columns(schema.clone(), cols).unwrap();
+        let spec = GroupSpec::ground(&[0, 1]).unwrap();
+        let wide = t.frequency_set(&spec).unwrap(); // packed kernel
+        assert_eq!(wide.total(), 5_000);
+        // Suppressing both attributes lands in the dense kernel; totals and
+        // group structure must agree with a rollup of the packed result.
+        let spec_top = GroupSpec::new(vec![(0, 1), (1, 1)]).unwrap();
+        let scanned_top = t.frequency_set(&spec_top).unwrap();
+        let rolled_top = wide.rollup(&schema, &[1, 1]).unwrap();
+        assert_eq!(
+            scanned_top.to_labeled_rows(&schema),
+            rolled_top.to_labeled_rows(&schema)
+        );
+        // Single-attribute projection (dense) vs narrow scan.
+        let proj = wide.project(&[0]).unwrap();
+        let narrow = t.frequency_set(&GroupSpec::ground(&[0]).unwrap()).unwrap();
+        assert_eq!(proj.to_labeled_rows(&schema), narrow.to_labeled_rows(&schema));
     }
 
     #[test]

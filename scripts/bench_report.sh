@@ -2,9 +2,14 @@
 # Regenerate the Figure-9 bench report plus its trace and validate both,
 # then check that everything under results/ is documented.
 #
-# Usage: scripts/bench_report.sh [extra bin args...]
+# Usage: scripts/bench_report.sh [--thread-sweep] [extra bin args...]
 # e.g.   scripts/bench_report.sh --quick
+#        scripts/bench_report.sh --quick --thread-sweep
 #        scripts/bench_report.sh --rows-adults 5000 --rows-landsend 20000
+#
+# --thread-sweep additionally reruns the bin at 1/2/4/8 worker threads
+# and snapshots each report to results/BENCH_fig09_datasets_t<N>.json —
+# the thread-scaling evidence behind the EXPERIMENTS.md table.
 #
 # The report writer re-parses everything it serializes before committing
 # the file, so existence already implies well-formedness; this script
@@ -14,6 +19,17 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Pull --thread-sweep out of the pass-through args.
+sweep=0
+i=0
+n=$#
+while [ "$i" -lt "$n" ]; do
+  a=$1
+  shift
+  if [ "$a" = "--thread-sweep" ]; then sweep=1; else set -- "$@" "$a"; fi
+  i=$((i + 1))
+done
 
 # All args (including --quick, which trims the Lands End row count)
 # pass straight through to the bin; --trace is always added.
@@ -63,6 +79,20 @@ else
     grep -q "$key" "$trace" || { echo "FAIL: $trace lacks $key" >&2; exit 1; }
   done
   echo "OK: $report and $trace present with required fields (python3 unavailable; grep check)"
+fi
+
+# Thread sweep: rerun at 1/2/4/8 workers, snapshotting each report. The
+# sweep's thread count is prepended so it wins over any --threads in the
+# pass-through args; the serial (t1) report also becomes the main
+# artifact so committed counters stay serial.
+if [ "$sweep" -eq 1 ]; then
+  for t in 1 2 4 8; do
+    cargo run --release -p incognito-bench --bin fig09_datasets -- \
+      --threads "$t" "$@"
+    cp "$report" "results/BENCH_fig09_datasets_t${t}.json"
+    echo "OK: thread sweep t=$t -> results/BENCH_fig09_datasets_t${t}.json"
+  done
+  cp results/BENCH_fig09_datasets_t1.json "$report"
 fi
 
 # Inventory: every output under results/ must be documented in

@@ -11,6 +11,7 @@
 //! * [`data`] — dataset generators (Patients, Adults, Lands End) and CSV IO;
 //! * [`rel`] — the mini relational engine (the paper ran on SQL/DB2);
 //! * [`star`] — the star schema (Figure 4) and the SQL-path Incognito;
+//! * [`exec`] — the work-stealing executor behind `Config::with_threads`;
 //! * [`obs`] — observability: metrics, spans, run reports, seeded PRNG;
 //! * [`report`] — `BENCH_*.json` diffing, the perf-regression gate, and
 //!   trace explain plans (the `incognito-report` binary's library).
@@ -21,6 +22,7 @@ pub mod report;
 
 pub use incognito_core as algo;
 pub use incognito_data as data;
+pub use incognito_exec as exec;
 pub use incognito_hierarchy as hierarchy;
 pub use incognito_lattice as lattice;
 pub use incognito_models as models;
