@@ -61,6 +61,9 @@ fn main() {
     let (r, wall) = Algo::BasicIncognito.run_with_threads(&l, &qi, 2, threads);
     report.record_run("Basic Incognito", "landsend", 2, qi.len(), &r, wall);
 
+    if cli.has("mem") {
+        report.print_memory_table();
+    }
     report.finish();
     if let Some(path) = trace {
         write_trace(&path);

@@ -86,6 +86,9 @@ fn main() {
     panel("fig10_landsend_k2", "landsend", &l, 2, &lands_sizes, &algos, threads, &mut report);
     panel("fig10_landsend_k10", "landsend", &l, 10, &lands_sizes, &algos, threads, &mut report);
 
+    if cli.has("mem") {
+        report.print_memory_table();
+    }
     report.finish();
     if let Some(path) = trace {
         write_trace(&path);

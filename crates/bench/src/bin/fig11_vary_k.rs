@@ -87,6 +87,9 @@ fn main() {
     }
     series.emit();
 
+    if cli.has("mem") {
+        report.print_memory_table();
+    }
     report.finish();
     if let Some(path) = trace {
         write_trace(&path);

@@ -94,6 +94,9 @@ fn main() {
     let lands_sizes: Vec<usize> = if quick { (3..=5).collect() } else { (3..=8).collect() };
     panel("fig12_landsend_k2", "landsend", &l, &lands_sizes, threads, &mut report);
 
+    if cli.has("mem") {
+        report.print_memory_table();
+    }
     report.finish();
     if let Some(path) = trace {
         write_trace(&path);

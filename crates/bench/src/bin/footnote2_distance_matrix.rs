@@ -84,6 +84,9 @@ fn main() {
          check stays linear in rows — the paper's reason for the group-by formulation."
     );
 
+    if cli.has("mem") {
+        report.print_memory_table();
+    }
     report.finish();
     if let Some(path) = trace {
         write_trace(&path);

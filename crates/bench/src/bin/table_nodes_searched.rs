@@ -59,6 +59,9 @@ fn main() {
     series.emit();
     println!("Paper (real Adults, k=2): 14/14, 47/35, 206/103, 680/246, 2088/664, 6366/1778, 12818/4307.");
 
+    if cli.has("mem") {
+        report.print_memory_table();
+    }
     report.finish();
     if let Some(path) = trace {
         write_trace(&path);

@@ -278,14 +278,18 @@ pub fn init_tracing(cli: &Cli, name: &str) -> Option<PathBuf> {
     Some(path)
 }
 
-/// Drain every collected trace span and write the Chrome Trace Event
-/// Format file (loadable in Perfetto / `chrome://tracing`).
+/// Drain every collected trace span — plus any allocator counter samples
+/// (`mem.live_bytes` tracks, rendered by Perfetto as counter plots) — and
+/// write the Chrome Trace Event Format file (loadable in Perfetto /
+/// `chrome://tracing`).
 pub fn write_trace(path: &std::path::Path) {
     let records = incognito_obs::trace::drain();
-    match incognito_obs::trace::write_chrome_trace(path, &records) {
+    let samples = incognito_obs::trace::drain_counter_samples();
+    match incognito_obs::trace::write_chrome_trace_with_counters(path, &records, &samples) {
         Ok(bytes) => println!(
-            "(trace: {} spans, {} bytes written to {})",
+            "(trace: {} spans, {} counter samples, {} bytes written to {})",
             records.len(),
+            samples.len(),
             bytes,
             path.display()
         ),

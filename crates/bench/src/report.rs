@@ -4,16 +4,18 @@
 //! CSV output and finishes by writing `results/BENCH_<name>.json`: one
 //! ordered JSON object carrying provenance (tool version, git describe,
 //! timestamp), the binary's workload parameters, and one entry per
-//! algorithm run with per-phase timings, per-iteration counters, and the
-//! table/lattice engine metrics recorded while that run executed.
-//! See EXPERIMENTS.md for the regeneration workflow.
+//! algorithm run with per-phase timings, per-iteration counters, the
+//! table/lattice engine metrics recorded while that run executed, and the
+//! run's allocation accounting (peak live bytes, bytes/count flows) from
+//! the tracking allocator. A top-level `memory` object summarizes the
+//! whole process. See EXPERIMENTS.md for the regeneration workflow.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use incognito_core::{AnonymizationResult, SearchStats};
 use incognito_obs::report::snapshot_to_json;
-use incognito_obs::{Json, MetricsSnapshot, RunReport};
+use incognito_obs::{Json, MemStats, MetricsSnapshot, RunReport};
 
 /// Builder for one `BENCH_<name>.json` report, shared by all bench bins.
 ///
@@ -26,16 +28,40 @@ pub struct BenchReport {
     report: RunReport,
     runs: Vec<Json>,
     last: MetricsSnapshot,
+    last_mem: MemStats,
+    peak_overall: u64,
 }
 
 impl BenchReport {
     /// Start a report for the binary `name` (the file stem of
-    /// `BENCH_<name>.json`). Enables observation and stamps provenance.
+    /// `BENCH_<name>.json`). Enables observation — including allocator
+    /// span attribution — and stamps provenance. The allocation peak is
+    /// rebased here and after every recorded run, so each run's
+    /// `memory.peak_live_bytes` reflects that run alone.
     pub fn new(name: &str) -> BenchReport {
         incognito_obs::set_enabled(true);
+        incognito_obs::mem::set_enabled(true);
         let mut report = RunReport::new(name);
         report.set_provenance(env!("CARGO_PKG_VERSION"));
-        BenchReport { report, runs: Vec::new(), last: incognito_obs::snapshot() }
+        incognito_obs::mem::reset_peak();
+        BenchReport {
+            report,
+            runs: Vec::new(),
+            last: incognito_obs::snapshot(),
+            last_mem: incognito_obs::mem::stats(),
+            peak_overall: 0,
+        }
+    }
+
+    /// Allocation accounting since the previous record call, as a JSON
+    /// object; rebases the peak and the flow baseline for the next run.
+    fn take_memory(&mut self) -> Json {
+        let now = incognito_obs::mem::stats();
+        let delta = now.delta(&self.last_mem);
+        self.peak_overall = self.peak_overall.max(delta.peak_live_bytes);
+        incognito_obs::mem::reset_peak();
+        self.last_mem = incognito_obs::mem::stats();
+        delta.to_json()
     }
 
     /// Set a top-level field (workload parameters: rows, QI description…).
@@ -77,6 +103,7 @@ impl BenchReport {
         run.set("timings", timings_json(stats));
         run.set("iterations", iterations_json(stats));
         run.set("metrics", snapshot_to_json(&delta));
+        run.set("memory", self.take_memory());
         self.runs.push(run);
         self
     }
@@ -98,8 +125,30 @@ impl BenchReport {
             }
         }
         run.set("metrics", snapshot_to_json(&delta));
+        run.set("memory", self.take_memory());
         self.runs.push(run);
         self
+    }
+
+    /// Print every recorded run's allocation accounting as an aligned
+    /// table (the bench binaries' `--mem` flag).
+    pub fn print_memory_table(&self) {
+        let mut s = crate::Series::new(
+            format!("{}_memory", self.report.name()),
+            &["label", "peak_live_mb", "alloc_mb", "allocs", "live_mb"],
+        );
+        for run in &self.runs {
+            let get = |k: &str| run.get("memory").and_then(|m| m.get(k)).and_then(Json::as_int);
+            let mb = |v: Option<i64>| format!("{:.2}", v.unwrap_or(0) as f64 / (1 << 20) as f64);
+            s.push(vec![
+                run.get("label").and_then(Json::as_str).unwrap_or("?").to_string(),
+                mb(get("peak_live_bytes")),
+                mb(get("allocated_bytes")),
+                get("allocs").unwrap_or(0).to_string(),
+                mb(get("live_bytes")),
+            ]);
+        }
+        s.emit();
     }
 
     /// Write `results/BENCH_<name>.json` and return its path. Failures are
@@ -107,6 +156,9 @@ impl BenchReport {
     pub fn finish(mut self) -> PathBuf {
         let runs = std::mem::take(&mut self.runs);
         self.report.set("runs", Json::Arr(runs));
+        let mut end = incognito_obs::mem::stats();
+        end.peak_live_bytes = end.peak_live_bytes.max(self.peak_overall);
+        self.report.set("memory", end.to_json());
         let path = crate::results_dir().join(format!("BENCH_{}.json", self.report.name()));
         match self.report.write_to(&path) {
             Ok(_) => println!("(report written to {})", path.display()),
@@ -195,6 +247,12 @@ mod tests {
         let metrics = basic.get("metrics").unwrap();
         assert!(metrics.get("table.scan.count").and_then(Json::as_int).unwrap_or(0) > 0);
 
+        // Allocation accounting is attached per run; running an
+        // anonymization certainly allocated something.
+        let mem = basic.get("memory").unwrap();
+        assert!(mem.get("peak_live_bytes").and_then(Json::as_int).unwrap_or(0) > 0);
+        assert!(mem.get("allocs").and_then(Json::as_int).unwrap_or(0) > 0);
+
         // Cube run carries the cube-build phase; Basic does not.
         let basic_cb = basic.get("timings").unwrap().get("cube_build_secs").unwrap();
         assert!(matches!(basic_cb, Json::Null));
@@ -206,6 +264,9 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let parsed = Json::parse(&text).unwrap();
         assert_eq!(parsed.get("runs").and_then(Json::as_arr).unwrap().len(), 2);
+        // Top-level memory summary: process flows plus the max per-run peak.
+        let mem = parsed.get("memory").unwrap();
+        assert!(mem.get("peak_live_bytes").and_then(Json::as_int).unwrap_or(0) > 0);
         std::fs::remove_file(&path).ok();
     }
 }

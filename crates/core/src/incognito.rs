@@ -213,6 +213,50 @@ fn eval_store(
     Ok(Checked { freq, via, anonymous, scan_time: Duration::ZERO, rollup_time })
 }
 
+/// Incrementally tracked occupancy of the per-iteration frequency-set
+/// cache, published as `core.freq_cache.*` gauges: the current level
+/// (`entries`/`bytes`), and process-monotone high-water marks
+/// (`peak_entries`/`peak_bytes`). Evictions bump the
+/// `core.freq_cache.evictions` counter. Tracking is plain integer
+/// arithmetic on the serial apply path, so it cannot perturb the
+/// byte-identical-counters contract (DESIGN.md §8).
+#[derive(Default)]
+struct CacheGauges {
+    entries: i64,
+    bytes: i64,
+    peak_entries: i64,
+    peak_bytes: i64,
+}
+
+impl CacheGauges {
+    fn on_insert(&mut self, freq: &FrequencySet) {
+        self.entries += 1;
+        self.bytes += freq.resident_bytes() as i64;
+        self.peak_entries = self.peak_entries.max(self.entries);
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+    }
+
+    fn on_evict(&mut self, freq: &FrequencySet) {
+        self.entries -= 1;
+        self.bytes -= freq.resident_bytes() as i64;
+        incognito_obs::incr("core.freq_cache.evictions");
+    }
+
+    fn publish(&self) {
+        if !incognito_obs::enabled() {
+            return;
+        }
+        let reg = incognito_obs::global();
+        reg.gauge("core.freq_cache.entries").set(self.entries);
+        reg.gauge("core.freq_cache.bytes").set(self.bytes);
+        // Peaks stay monotone across iterations and runs in one process.
+        let pe = reg.gauge("core.freq_cache.peak_entries");
+        pe.set(pe.get().max(self.peak_entries));
+        let pb = reg.gauge("core.freq_cache.peak_bytes");
+        pb.set(pb.get().max(self.peak_bytes));
+    }
+}
+
 /// Shared engine behind Basic, Super-roots, Cube, and store-backed
 /// Incognito.
 pub(crate) fn incognito_impl(
@@ -336,11 +380,22 @@ pub(crate) fn incognito_impl(
                 stats.table_scans += 1;
                 superroot_freq.insert(attrs, freq);
             }
+            if incognito_obs::enabled() {
+                incognito_obs::gauge_set(
+                    "core.superroot.entries",
+                    superroot_freq.len() as i64,
+                );
+                incognito_obs::gauge_set(
+                    "core.superroot.bytes",
+                    superroot_freq.values().map(FrequencySet::resident_bytes).sum::<u64>() as i64,
+                );
+            }
         }
 
         // Frequency-set cache keyed by node id, evicted once every direct
         // generalization of the node has had its status determined.
         let mut cache: FxHashMap<NodeId, FrequencySet> = FxHashMap::default();
+        let mut cache_gauges = CacheGauges::default();
         let mut pending_out: Vec<u32> =
             (0..num).map(|id| graph.direct_generalizations(id as NodeId).len() as u32).collect();
         // A node's status becomes determined when it is processed or first
@@ -361,6 +416,7 @@ pub(crate) fn incognito_impl(
                          determined: &mut [bool],
                          pending_out: &mut [u32],
                          cache: &mut FxHashMap<NodeId, FrequencySet>,
+                         cache_gauges: &mut CacheGauges,
                          it_stats: &mut IterationStats,
                          sink: &mut dyn FnMut(TraceEvent)| {
             let mut stack: Vec<NodeId> = graph.direct_generalizations(from).to_vec();
@@ -381,7 +437,9 @@ pub(crate) fn incognito_impl(
                     for &x in &in_adj[y as usize] {
                         pending_out[x as usize] -= 1;
                         if pending_out[x as usize] == 0 {
-                            cache.remove(&x);
+                            if let Some(f) = cache.remove(&x) {
+                                cache_gauges.on_evict(&f);
+                            }
                         }
                     }
                 }
@@ -507,6 +565,7 @@ pub(crate) fn incognito_impl(
                         &mut determined,
                         &mut pending_out,
                         &mut cache,
+                        &mut cache_gauges,
                         &mut it_stats,
                         sink,
                     );
@@ -520,6 +579,7 @@ pub(crate) fn incognito_impl(
                     // Only failing nodes' frequency sets seed rollups upward —
                     // anonymous nodes' generalizations are marked, not computed.
                     if cfg.rollup && pending_out[node as usize] > 0 {
+                        cache_gauges.on_insert(&freq);
                         cache.insert(node, freq);
                     }
                 }
@@ -529,7 +589,9 @@ pub(crate) fn incognito_impl(
                     for &x in &in_adj[node as usize] {
                         pending_out[x as usize] -= 1;
                         if pending_out[x as usize] == 0 {
-                            cache.remove(&x);
+                            if let Some(f) = cache.remove(&x) {
+                                cache_gauges.on_evict(&f);
+                            }
                         }
                     }
                 }
@@ -544,6 +606,7 @@ pub(crate) fn incognito_impl(
             graph = generate_next(&graph, &alive, cfg.prune);
             stats.timings.candidate_gen += gen_start.elapsed();
         }
+        cache_gauges.publish();
         it_stats.wall = iter_start.elapsed();
         sink(TraceEvent::IterationEnd { survivors: it_stats.survivors });
         iter_span.set_arg("checked", it_stats.nodes_checked as u64);

@@ -83,6 +83,7 @@ impl<'t> FreqStore<'t> {
                 store.materialize_levels(max_groups)?;
             }
         }
+        store.publish_gauges();
         Ok(store)
     }
 
@@ -104,6 +105,23 @@ impl<'t> FreqStore<'t> {
     /// Total groups across all materialized sets (a memory proxy).
     pub fn total_groups(&self) -> usize {
         self.store.values().map(FrequencySet::num_groups).sum()
+    }
+
+    /// Estimated heap bytes held by the materialized sets (see
+    /// [`FrequencySet::resident_bytes`]).
+    pub fn resident_bytes(&self) -> u64 {
+        self.store.values().map(FrequencySet::resident_bytes).sum()
+    }
+
+    /// Publish store occupancy as `core.store.*` gauges. Called after
+    /// every mutation batch; a no-op while observation is disabled.
+    fn publish_gauges(&self) {
+        if !incognito_obs::enabled() {
+            return;
+        }
+        incognito_obs::gauge_set("core.store.entries", self.store.len() as i64);
+        incognito_obs::gauge_set("core.store.groups", self.total_groups() as i64);
+        incognito_obs::gauge_set("core.store.bytes", self.resident_bytes() as i64);
     }
 
     fn materialize_zero_cube(&mut self) -> Result<(), TableError> {
@@ -227,6 +245,7 @@ impl<'t> FreqStore<'t> {
         self.stats.misses += 1;
         self.stats.materialized += 1;
         self.store.insert(key, scanned.clone());
+        self.publish_gauges();
         Ok(scanned)
     }
 }

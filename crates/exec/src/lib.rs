@@ -159,12 +159,27 @@ impl Inner {
 /// Execute one claimed job, wrapped in a trace span so worker activity is
 /// visible in Perfetto exports (`worker` is the deque index, or the word
 /// "caller" for scope participants).
+///
+/// With memory attribution on, the span also carries the job's
+/// `alloc_bytes` delta and the `exec.alloc_bytes` counter accumulates it
+/// across workers. Both read the *executing* thread's counters between
+/// claim and completion, so attribution lands on whichever worker stole
+/// the job — stealing moves work, never its accounting.
 fn run_job(job: Job, me: usize) {
     incognito_obs::incr("exec.tasks");
+    let mem_at_start = if incognito_obs::mem::enabled() {
+        Some(incognito_obs::mem::thread_allocated_bytes())
+    } else {
+        None
+    };
     let span = incognito_obs::trace::span("exec.task");
     let span = if me == usize::MAX { span.arg("worker", "caller") } else { span.arg("worker", me as u64) };
     job();
     span.finish();
+    if let Some(bytes_at_start) = mem_at_start {
+        let delta = incognito_obs::mem::thread_allocated_bytes().saturating_sub(bytes_at_start);
+        incognito_obs::add("exec.alloc_bytes", delta);
+    }
 }
 
 /// Book-keeping for one [`Executor::scope`] call: outstanding task count

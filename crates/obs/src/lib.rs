@@ -16,6 +16,11 @@
 //!   key/value args, exported as Chrome Trace Event Format JSON for
 //!   Perfetto / `chrome://tracing` (gated by its own flag, see the module
 //!   docs).
+//! * [`mem`] — a tracking `#[global_allocator]` wrapping `System`:
+//!   per-thread and global allocation counters (live bytes, peak
+//!   high-water, alloc counts) that trace spans attribute to themselves
+//!   (see the module docs for the always-on-counting / opt-in-attribution
+//!   split).
 //! * [`Rng`] — a tiny deterministic PRNG (xoshiro256\*\*) used by the data
 //!   generators and property-style tests, so the workspace needs no
 //!   external `rand` crate. It lives here, at the bottom of the dependency
@@ -32,7 +37,9 @@
 //! any real scan or group-by. Benchmarks and examples opt in with
 //! [`set_enabled`]`(true)`.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `mem` module needs `unsafe impl GlobalAlloc`
+// (scoped allow in that file); everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -40,6 +47,7 @@ use std::sync::OnceLock;
 use std::time::Duration;
 
 pub mod json;
+pub mod mem;
 pub mod metrics;
 pub mod report;
 pub mod rng;
@@ -47,7 +55,11 @@ pub mod span;
 pub mod trace;
 
 pub use json::{Json, JsonError};
-pub use metrics::{CounterHandle, MetricValue, MetricsRegistry, MetricsSnapshot, TimerHandle, TimerValue};
+pub use mem::MemStats;
+pub use metrics::{
+    CounterHandle, GaugeHandle, MetricValue, MetricsRegistry, MetricsSnapshot, TimerHandle,
+    TimerValue,
+};
 pub use report::RunReport;
 pub use rng::Rng;
 pub use span::Span;
@@ -87,6 +99,24 @@ pub fn add(name: &str, v: u64) {
 #[inline]
 pub fn incr(name: &str) {
     add(name, 1);
+}
+
+/// Set the named global gauge to `v` (occupancy-style metrics: cache
+/// entries, resident bytes). No-op while observation is disabled.
+#[inline]
+pub fn gauge_set(name: &str, v: i64) {
+    if enabled() {
+        global().gauge(name).set(v);
+    }
+}
+
+/// Add `v` (possibly negative) to the named global gauge. No-op while
+/// observation is disabled.
+#[inline]
+pub fn gauge_add(name: &str, v: i64) {
+    if enabled() {
+        global().gauge(name).add(v);
+    }
 }
 
 /// Open a timing span against the named global timer. Returns an inert

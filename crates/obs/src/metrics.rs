@@ -9,9 +9,14 @@
 //! histogram of nanosecond durations (bucket `i` counts durations whose
 //! bit length is `i`), which is enough to read tail behaviour out of a
 //! `BENCH_*.json` without any external tooling.
+//!
+//! Gauges ([`GaugeHandle`]) are signed set/add cells for occupancy-style
+//! metrics — cache entries, resident bytes — where the *current level*
+//! matters, not a monotone total. `diff` keeps the later snapshot's value
+//! for them, since occupancy is a point-in-time reading.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
@@ -67,6 +72,36 @@ impl CounterHandle {
     }
 }
 
+#[derive(Default)]
+struct GaugeCell {
+    value: AtomicI64,
+}
+
+/// A cheap, clonable handle onto one registered gauge.
+#[derive(Clone)]
+pub struct GaugeHandle {
+    cell: Arc<GaugeCell>,
+}
+
+impl GaugeHandle {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `v` (possibly negative) to the gauge.
+    #[inline]
+    pub fn add(&self, v: i64) {
+        self.cell.value.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.cell.value.load(Ordering::Relaxed)
+    }
+}
+
 /// A cheap, clonable handle onto one registered timer.
 #[derive(Clone)]
 pub struct TimerHandle {
@@ -87,7 +122,18 @@ impl TimerHandle {
 
 enum Cell {
     Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
     Timer(Arc<TimerCell>),
+}
+
+impl Cell {
+    fn kind(&self) -> &'static str {
+        match self {
+            Cell::Counter(_) => "counter",
+            Cell::Gauge(_) => "gauge",
+            Cell::Timer(_) => "timer",
+        }
+    }
 }
 
 /// A registry of named metrics. Create one per scope of interest, or use
@@ -112,7 +158,7 @@ impl MetricsRegistry {
         if let Some(cell) = self.cells.read().unwrap().get(name) {
             return match cell {
                 Cell::Counter(c) => CounterHandle { cell: c.clone() },
-                Cell::Timer(_) => panic!("metric {name:?} is a timer, not a counter"),
+                other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
             };
         }
         let mut cells = self.cells.write().unwrap();
@@ -121,7 +167,26 @@ impl MetricsRegistry {
             .or_insert_with(|| Cell::Counter(Arc::new(CounterCell::default())));
         match cell {
             Cell::Counter(c) => CounterHandle { cell: c.clone() },
-            Cell::Timer(_) => panic!("metric {name:?} is a timer, not a counter"),
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Handle for the named gauge, registering it on first use. Panics if
+    /// `name` is already registered as another kind.
+    pub fn gauge(&self, name: &str) -> GaugeHandle {
+        if let Some(cell) = self.cells.read().unwrap().get(name) {
+            return match cell {
+                Cell::Gauge(g) => GaugeHandle { cell: g.clone() },
+                other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+            };
+        }
+        let mut cells = self.cells.write().unwrap();
+        let cell = cells
+            .entry(name.to_owned())
+            .or_insert_with(|| Cell::Gauge(Arc::new(GaugeCell::default())));
+        match cell {
+            Cell::Gauge(g) => GaugeHandle { cell: g.clone() },
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
         }
     }
 
@@ -131,7 +196,7 @@ impl MetricsRegistry {
         if let Some(cell) = self.cells.read().unwrap().get(name) {
             return match cell {
                 Cell::Timer(t) => TimerHandle { cell: t.clone() },
-                Cell::Counter(_) => panic!("metric {name:?} is a counter, not a timer"),
+                other => panic!("metric {name:?} is a {}, not a timer", other.kind()),
             };
         }
         let mut cells = self.cells.write().unwrap();
@@ -140,7 +205,7 @@ impl MetricsRegistry {
             .or_insert_with(|| Cell::Timer(Arc::new(TimerCell::default())));
         match cell {
             Cell::Timer(t) => TimerHandle { cell: t.clone() },
-            Cell::Counter(_) => panic!("metric {name:?} is a counter, not a timer"),
+            other => panic!("metric {name:?} is a {}, not a timer", other.kind()),
         }
     }
 
@@ -152,6 +217,7 @@ impl MetricsRegistry {
             .map(|(name, cell)| {
                 let value = match cell {
                     Cell::Counter(c) => MetricValue::Counter(c.value.load(Ordering::Relaxed)),
+                    Cell::Gauge(g) => MetricValue::Gauge(g.value.load(Ordering::Relaxed)),
                     Cell::Timer(t) => MetricValue::Timer(TimerValue {
                         count: t.count.load(Ordering::Relaxed),
                         total: Duration::from_nanos(t.total_nanos.load(Ordering::Relaxed)),
@@ -171,6 +237,7 @@ impl MetricsRegistry {
         for cell in cells.values() {
             match cell {
                 Cell::Counter(c) => c.value.store(0, Ordering::Relaxed),
+                Cell::Gauge(g) => g.value.store(0, Ordering::Relaxed),
                 Cell::Timer(t) => {
                     t.count.store(0, Ordering::Relaxed);
                     t.total_nanos.store(0, Ordering::Relaxed);
@@ -209,6 +276,8 @@ impl TimerValue {
 pub enum MetricValue {
     /// A monotonically increasing count.
     Counter(u64),
+    /// A signed occupancy level (cache entries, resident bytes).
+    Gauge(i64),
     /// A duration distribution.
     Timer(TimerValue),
 }
@@ -236,12 +305,22 @@ impl MetricsSnapshot {
     }
 
     /// The named counter's value, defaulting to 0 when absent. Panics if
-    /// the name is registered as a timer.
+    /// the name is registered as another kind.
     pub fn counter(&self, name: &str) -> u64 {
         match self.values.get(name) {
             None => 0,
             Some(MetricValue::Counter(v)) => *v,
-            Some(MetricValue::Timer(_)) => panic!("metric {name:?} is a timer, not a counter"),
+            Some(_) => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// The named gauge's level, defaulting to 0 when absent. Panics if the
+    /// name is registered as another kind.
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.values.get(name) {
+            None => 0,
+            Some(MetricValue::Gauge(v)) => *v,
+            Some(_) => panic!("metric {name:?} is not a gauge"),
         }
     }
 
@@ -251,14 +330,15 @@ impl MetricsSnapshot {
         match self.values.get(name) {
             None => TimerValue::default(),
             Some(MetricValue::Timer(t)) => t.clone(),
-            Some(MetricValue::Counter(_)) => panic!("metric {name:?} is a counter, not a timer"),
+            Some(_) => panic!("metric {name:?} is not a timer"),
         }
     }
 
     /// `self - earlier`, per metric. Counters and timer counts/totals
-    /// subtract (saturating); a timer's `max` is not differentiable, so
-    /// the later snapshot's value is kept. Metrics absent from `earlier`
-    /// pass through unchanged.
+    /// subtract (saturating); a timer's `max` is not differentiable and a
+    /// gauge is a point-in-time level, so the later snapshot's value is
+    /// kept for both. Metrics absent from `earlier` pass through
+    /// unchanged.
     pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         let values = self
             .values
@@ -354,10 +434,37 @@ mod tests {
     }
 
     #[test]
+    fn gauges_set_add_and_keep_later_value_in_diff() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("cache.entries");
+        g.set(10);
+        g.add(5);
+        g.add(-3);
+        assert_eq!(g.get(), 12);
+        let early = reg.snapshot();
+        assert_eq!(early.gauge("cache.entries"), 12);
+        assert_eq!(early.gauge("absent"), 0);
+        g.set(7);
+        let late = reg.snapshot();
+        // Occupancy is point-in-time: diff keeps the later level.
+        assert_eq!(late.diff(&early).gauge("cache.entries"), 7);
+        reg.reset();
+        assert_eq!(reg.snapshot().gauge("cache.entries"), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "is a timer")]
     fn kind_mismatch_panics() {
         let reg = MetricsRegistry::new();
         reg.timer("x");
         reg.counter("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "is a gauge")]
+    fn gauge_counter_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("y");
+        reg.counter("y");
     }
 }

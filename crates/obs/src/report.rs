@@ -93,6 +93,9 @@ pub fn snapshot_to_json(snapshot: &MetricsSnapshot) -> Json {
             MetricValue::Counter(v) => {
                 obj.set(name, *v);
             }
+            MetricValue::Gauge(v) => {
+                obj.set(name, *v);
+            }
             MetricValue::Timer(t) => {
                 let mut timer = Json::obj();
                 timer.set("count", t.count);

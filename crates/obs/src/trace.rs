@@ -21,6 +21,18 @@
 //! containment, so unbalanced drops (a parent finished before its child,
 //! a guard carried across threads) degrade a span into a root rather than
 //! corrupting its siblings.
+//!
+//! When memory attribution is on ([`crate::mem::set_enabled`]), every
+//! span additionally samples its thread's allocation counters at open and
+//! close, recording the delta as `alloc_bytes`/`allocs` args plus the
+//! process-wide `peak_live` high-water mark, and contributes one
+//! `mem.live_bytes` [`CounterSample`] per close — exported as Chrome
+//! `"ph": "C"` counter events, which Perfetto renders as a live-bytes
+//! counter track under the trace. A guard dropped on a different thread
+//! than it was opened on gets *no* memory args: the open-time sample
+//! belongs to another thread's counter, so attributing the difference
+//! would charge one thread's allocations to another. The span itself
+//! still records (as a root, per the self-healing above).
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -54,6 +66,11 @@ fn epoch() -> Instant {
 
 fn collector() -> &'static Mutex<Vec<TraceRecord>> {
     static COLLECTOR: OnceLock<Mutex<Vec<TraceRecord>>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn counter_collector() -> &'static Mutex<Vec<CounterSample>> {
+    static COLLECTOR: OnceLock<Mutex<Vec<CounterSample>>> = OnceLock::new();
     COLLECTOR.get_or_init(|| Mutex::new(Vec::new()))
 }
 
@@ -91,6 +108,35 @@ pub struct TraceRecord {
     pub args: Vec<(String, Json)>,
 }
 
+/// One sample of a numeric counter track (exported as a Chrome
+/// `"ph": "C"` event, rendered by Perfetto as a counter graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Track name (e.g. `mem.live_bytes`).
+    pub name: String,
+    /// Small sequential id of the sampling thread.
+    pub tid: u64,
+    /// Sample time in nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Sampled value.
+    pub value: u64,
+}
+
+/// Record one counter-track sample at the current time. No-op while trace
+/// collection is disabled.
+pub fn sample_counter(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let sample = CounterSample {
+        name: name.to_owned(),
+        tid: TID.with(|t| *t),
+        ts_ns: duration_ns(Instant::now().saturating_duration_since(epoch())),
+        value,
+    };
+    counter_collector().lock().unwrap().push(sample);
+}
+
 /// An RAII guard for one span of the trace tree. Obtain via [`span`];
 /// records into the global collector on drop (or [`TraceSpan::finish`]).
 #[must_use = "a trace span records on drop; binding it to `_` drops it immediately"]
@@ -105,6 +151,10 @@ struct SpanState {
     parent: Option<u64>,
     start: Instant,
     args: Vec<(String, Json)>,
+    /// This thread's (allocated_bytes, alloc_count) at open, when memory
+    /// attribution was enabled; the close-time delta becomes the span's
+    /// `alloc_bytes`/`allocs` args.
+    mem_at_open: Option<(u64, u64)>,
 }
 
 /// Open a span named `name`, nested under the innermost span currently
@@ -122,6 +172,11 @@ pub fn span(name: impl Into<String>) -> TraceSpan {
         s.push(seq);
         parent
     });
+    let mem_at_open = if crate::mem::enabled() {
+        Some((crate::mem::thread_allocated_bytes(), crate::mem::thread_alloc_count()))
+    } else {
+        None
+    };
     TraceSpan {
         state: Some(SpanState {
             name: name.into(),
@@ -130,6 +185,7 @@ pub fn span(name: impl Into<String>) -> TraceSpan {
             parent,
             start: Instant::now(),
             args: Vec::new(),
+            mem_at_open,
         }),
     }
 }
@@ -164,8 +220,25 @@ impl TraceSpan {
     }
 
     fn record(&mut self) {
-        let Some(state) = self.state.take() else { return };
+        let Some(mut state) = self.state.take() else { return };
         let dur = state.start.elapsed();
+        // Attribute this thread's allocation delta to the span — but only
+        // when the guard closes on the thread that opened it; the open
+        // sample belongs to that thread's counter, so a cross-thread drop
+        // gets no memory args rather than a misattributed delta.
+        if let Some((bytes_at_open, count_at_open)) = state.mem_at_open {
+            if TID.with(|t| *t) == state.tid {
+                let alloc_bytes =
+                    crate::mem::thread_allocated_bytes().saturating_sub(bytes_at_open);
+                let allocs = crate::mem::thread_alloc_count().saturating_sub(count_at_open);
+                state.args.push(("alloc_bytes".to_owned(), Json::from(alloc_bytes)));
+                state.args.push(("allocs".to_owned(), Json::from(allocs)));
+                state
+                    .args
+                    .push(("peak_live".to_owned(), Json::from(crate::mem::peak_live_bytes())));
+                sample_counter("mem.live_bytes", crate::mem::live_bytes());
+            }
+        }
         // Pop this span off its thread's stack. A guard dropped on a
         // different thread (or after its parent) simply is not found and
         // leaves the other thread's stack alone; truncating at the found
@@ -207,9 +280,19 @@ pub fn drain() -> Vec<TraceRecord> {
     records
 }
 
-/// Discard all collected records without returning them.
+/// Take every collected counter sample out of the global collector,
+/// sorted by sample time.
+pub fn drain_counter_samples() -> Vec<CounterSample> {
+    let mut samples = std::mem::take(&mut *counter_collector().lock().unwrap());
+    samples.sort_by_key(|s| s.ts_ns);
+    samples
+}
+
+/// Discard all collected records and counter samples without returning
+/// them.
 pub fn clear() {
     collector().lock().unwrap().clear();
+    counter_collector().lock().unwrap().clear();
 }
 
 /// Render records as a Chrome Trace Event Format document: an object with
@@ -218,7 +301,14 @@ pub fn clear() {
 /// inside each event's `args` so [`from_chrome_json`] can rebuild the
 /// exact tree; Perfetto ignores them.
 pub fn to_chrome_json(records: &[TraceRecord]) -> Json {
-    let events: Vec<Json> = records
+    to_chrome_json_with_counters(records, &[])
+}
+
+/// [`to_chrome_json`] plus counter tracks: each [`CounterSample`] becomes
+/// a `"ph": "C"` event, which Perfetto renders as a counter graph (one
+/// track per sample name) alongside the span rows.
+pub fn to_chrome_json_with_counters(records: &[TraceRecord], samples: &[CounterSample]) -> Json {
+    let mut events: Vec<Json> = records
         .iter()
         .map(|r| {
             let mut args = Json::obj();
@@ -242,6 +332,19 @@ pub fn to_chrome_json(records: &[TraceRecord]) -> Json {
             e
         })
         .collect();
+    for s in samples {
+        let mut args = Json::obj();
+        args.set("value", s.value);
+        let mut e = Json::obj();
+        e.set("name", s.name.as_str());
+        e.set("cat", "incognito");
+        e.set("ph", "C");
+        e.set("ts", s.ts_ns as f64 / 1_000.0);
+        e.set("pid", 1u64);
+        e.set("tid", s.tid);
+        e.set("args", args);
+        events.push(e);
+    }
     let mut doc = Json::obj();
     doc.set("traceEvents", Json::Arr(events));
     doc.set("displayTimeUnit", "ms");
@@ -252,7 +355,17 @@ pub fn to_chrome_json(records: &[TraceRecord]) -> Json {
 /// output as a self-check (like [`crate::RunReport::write_to`]), and write
 /// it to `path`, creating parent directories. Returns bytes written.
 pub fn write_chrome_trace(path: &Path, records: &[TraceRecord]) -> io::Result<usize> {
-    let text = to_chrome_json(records).to_pretty_string();
+    write_chrome_trace_with_counters(path, records, &[])
+}
+
+/// [`write_chrome_trace`] plus counter tracks (see
+/// [`to_chrome_json_with_counters`]).
+pub fn write_chrome_trace_with_counters(
+    path: &Path,
+    records: &[TraceRecord],
+    samples: &[CounterSample],
+) -> io::Result<usize> {
+    let text = to_chrome_json_with_counters(records, samples).to_pretty_string();
     if let Err(e) = Json::parse(&text) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -496,6 +609,59 @@ mod tests {
         assert_eq!(back[1].args, records[1].args);
         assert_eq!(back[1].ts_ns, 10_000);
         assert_eq!(back[1].dur_ns, 40_000);
+    }
+
+    // Trace + mem attribution flags are process-global; this is the only
+    // test in the obs binary that enables them or drains the collectors,
+    // so it exercises the whole live-span protocol serially.
+    #[test]
+    fn spans_attribute_allocation_deltas_and_counter_samples() {
+        set_enabled(true);
+        crate::mem::set_enabled(true);
+        let outer = span("mem_attr_test");
+        let v: Vec<u8> = Vec::with_capacity(1 << 18);
+        outer.finish();
+        drop(v);
+        crate::mem::set_enabled(false);
+        set_enabled(false);
+
+        let records = drain();
+        let r = records.iter().find(|r| r.name == "mem_attr_test").expect("span recorded");
+        let get = |k: &str| {
+            r.args.iter().find(|(key, _)| key == k).and_then(|(_, v)| v.as_int())
+        };
+        assert!(get("alloc_bytes").expect("alloc_bytes arg") >= 1 << 18);
+        assert!(get("allocs").expect("allocs arg") >= 1);
+        assert!(get("peak_live").expect("peak_live arg") > 0);
+
+        let samples = drain_counter_samples();
+        assert!(
+            samples.iter().any(|s| s.name == "mem.live_bytes" && s.value > 0),
+            "span close must sample the live-bytes counter track"
+        );
+    }
+
+    #[test]
+    fn counter_samples_export_as_ph_c_events() {
+        let records = vec![rec("root", 1, None, 0, 100_000)];
+        let samples = vec![CounterSample {
+            name: "mem.live_bytes".to_owned(),
+            tid: 1,
+            ts_ns: 5_000,
+            value: 42,
+        }];
+        let doc = to_chrome_json_with_counters(&records, &samples);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        let c = &events[1];
+        assert_eq!(c.get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(c.get("name").and_then(Json::as_str), Some("mem.live_bytes"));
+        assert_eq!(
+            c.get("args").and_then(|a| a.get("value")).and_then(Json::as_int),
+            Some(42)
+        );
+        // Counter events are render-only: the span loader skips them.
+        assert_eq!(from_chrome_json(&doc).unwrap().len(), 1);
     }
 
     #[test]

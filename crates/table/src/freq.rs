@@ -268,6 +268,14 @@ fn estimate_groups(nrows: usize, seen: usize, sample: usize) -> usize {
     est.min(nrows)
 }
 
+/// Estimated heap footprint of a group-count map: capacity × bucket size
+/// plus one control byte per slot (SwissTable layout). An estimate — the
+/// point is comparability across kernel tiers and cache snapshots, not
+/// byte-exact accounting (the tracking allocator owns that).
+fn map_resident_bytes(counts: &FxHashMap<GroupKey, u64>) -> u64 {
+    counts.capacity() as u64 * (std::mem::size_of::<(GroupKey, u64)>() as u64 + 1)
+}
+
 /// The frequency set of a table with respect to a [`GroupSpec`].
 #[derive(Debug, Clone)]
 pub struct FrequencySet {
@@ -320,11 +328,15 @@ impl FrequencySet {
             };
             if space.is_dense() {
                 incognito_obs::incr("table.scan.dense");
+                incognito_obs::add("table.kernel.dense.slot_bytes", space.len() as u64 * 8);
                 let mut dense = vec![0u64; space.len()];
                 for row in rows {
                     dense[pack(row) as usize] += 1;
                 }
-                return space.gather(&dense);
+                let counts = space.gather(&dense);
+                incognito_obs::add("table.kernel.dense.groups", counts.len() as u64);
+                incognito_obs::add("table.kernel.dense.bytes", map_resident_bytes(&counts));
+                return counts;
             }
             incognito_obs::incr("table.scan.packed");
             let mut packed: FxHashMap<u64, u64> = FxHashMap::default();
@@ -340,6 +352,8 @@ impl FrequencySet {
             let mut counts: FxHashMap<GroupKey, u64> =
                 FxHashMap::with_capacity_and_hasher(packed.len(), Default::default());
             counts.extend(packed.into_iter().map(|(idx, c)| (space.unpack(idx), c)));
+            incognito_obs::add("table.kernel.packed.groups", counts.len() as u64);
+            incognito_obs::add("table.kernel.packed.bytes", map_resident_bytes(&counts));
             return counts;
         }
         let key_of = |row: usize| -> GroupKey {
@@ -358,6 +372,8 @@ impl FrequencySet {
         for row in rows.start + sample..rows.end {
             *counts.entry(key_of(row)).or_insert(0) += 1;
         }
+        incognito_obs::add("table.kernel.hash.groups", counts.len() as u64);
+        incognito_obs::add("table.kernel.hash.bytes", map_resident_bytes(&counts));
         counts
     }
 
@@ -444,6 +460,13 @@ impl FrequencySet {
         self.counts.len()
     }
 
+    /// Estimated heap bytes held by this frequency set (see
+    /// [`map_resident_bytes`]) — what the core engine's cache-occupancy
+    /// gauges account when this set is cached or materialized.
+    pub fn resident_bytes(&self) -> u64 {
+        map_resident_bytes(&self.counts)
+    }
+
     /// Total tuple count (size of the underlying multiset).
     pub fn total(&self) -> u64 {
         self.total
@@ -523,6 +546,7 @@ impl FrequencySet {
         let space = KeySpace::new(&dims);
         let counts = if space.is_dense() {
             incognito_obs::incr("table.rollup.dense");
+            incognito_obs::add("table.kernel.dense.slot_bytes", space.len() as u64 * 8);
             let mut dense = vec![0u64; space.len()];
             for (key, &c) in &self.counts {
                 let mut idx = 0u64;
@@ -593,6 +617,7 @@ impl FrequencySet {
         let space = KeySpace::new(&dims);
         let counts = if space.is_dense() {
             incognito_obs::incr("table.project.dense");
+            incognito_obs::add("table.kernel.dense.slot_bytes", space.len() as u64 * 8);
             let mut dense = vec![0u64; space.len()];
             for (key, &c) in &self.counts {
                 let slice = key.as_slice();
@@ -755,6 +780,138 @@ mod tests {
         assert!(space.is_dense());
         assert_eq!(space.len(), 1);
         assert_eq!(space.unpack(0), GroupKey::default());
+    }
+
+    /// Run `spec` over `t` through every kernel tier the key space can
+    /// express — the real tier, plus the packed and hash tiers forced by
+    /// forging the space's `slots` — and check each against a brute-force
+    /// count. Returns the number of distinct groups.
+    fn assert_tiers_agree(t: &Table, spec: &GroupSpec) -> usize {
+        let schema = t.schema();
+        let maps: Vec<&[ValueId]> =
+            spec.parts.iter().map(|&(a, l)| schema.hierarchy(a).map_to_level(l)).collect();
+        let cols: Vec<&[ValueId]> = spec.parts.iter().map(|&(a, _)| t.column(a)).collect();
+        let space = KeySpace::for_spec(schema, spec);
+        let nrows = t.num_rows();
+        let mut expected: FxHashMap<GroupKey, u64> = FxHashMap::default();
+        for row in 0..nrows {
+            let mut k = GroupKey::default();
+            for (col, map) in cols.iter().zip(&maps) {
+                k.push(map[col[row] as usize]);
+            }
+            *expected.entry(k).or_insert(0) += 1;
+        }
+        if space.is_dense() {
+            let got = FrequencySet::scan_rows(&cols, &maps, 0..nrows, &space);
+            assert_eq!(got, expected, "dense kernel diverged");
+        }
+        if space.is_packable() {
+            // Oversized slot count: still packable, never dense.
+            let forced =
+                KeySpace { strides: space.strides.clone(), slots: Some(DENSE_MAX_SLOTS + 1) };
+            let got = FrequencySet::scan_rows(&cols, &maps, 0..nrows, &forced);
+            assert_eq!(got, expected, "packed kernel diverged");
+        }
+        let hash_space = KeySpace { strides: space.strides.clone(), slots: None };
+        let got = FrequencySet::scan_rows(&cols, &maps, 0..nrows, &hash_space);
+        assert_eq!(got, expected, "hash kernel diverged");
+        // The public path picks whichever tier the real space selects.
+        let via_table = t.frequency_set(spec).unwrap();
+        assert_eq!(via_table.num_groups(), expected.len());
+        for (k, &c) in &expected {
+            assert_eq!(via_table.count(k), c);
+        }
+        expected.len()
+    }
+
+    #[test]
+    fn key_space_dense_boundary_is_exact() {
+        let at = KeySpace::new(&[DENSE_MAX_SLOTS]);
+        assert!(at.is_dense());
+        assert_eq!(at.len() as u64, 1 << 16);
+        let past = KeySpace::new(&[DENSE_MAX_SLOTS + 1]);
+        assert!(past.is_packable() && !past.is_dense());
+        // Mixed-radix shapes hit the same boundary: 256 × 256 is the
+        // widest dense space, 256 × 257 already is not.
+        assert!(KeySpace::new(&[256, 256]).is_dense());
+        assert!(!KeySpace::new(&[256, 257]).is_dense());
+    }
+
+    #[test]
+    fn kernel_tiers_agree_on_the_exact_boundary_space() {
+        // 256 × 256 = exactly 1 << 16 slots: the widest key space the
+        // dense kernel accepts.
+        let labels: Vec<String> = (0..256).map(|i| format!("v{i}")).collect();
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let schema = Schema::new(vec![
+            Attribute::new("a", builders::suppression("a", &label_refs).unwrap()),
+            Attribute::new("b", builders::suppression("b", &label_refs).unwrap()),
+        ])
+        .unwrap();
+        let mut cols: Vec<Vec<u32>> = vec![Vec::new(), Vec::new()];
+        for i in 0..4_000u32 {
+            cols[0].push((i * 31) % 256);
+            cols[1].push((i * 17 + i / 9) % 256);
+        }
+        let t = Table::from_columns(schema, cols).unwrap();
+        let spec = GroupSpec::ground(&[0, 1]).unwrap();
+        let space = KeySpace::for_spec(t.schema(), &spec);
+        assert_eq!(space.slots, Some(DENSE_MAX_SLOTS));
+        assert!(space.is_dense());
+        assert!(assert_tiers_agree(&t, &spec) > 1_000);
+    }
+
+    #[test]
+    fn packed_tier_takes_over_one_slot_past_the_dense_cutoff() {
+        // A single attribute with 2^16 + 1 ground values: the smallest
+        // key space the dense kernel rejects, by exactly one slot.
+        let labels: Vec<String> = (0..=DENSE_MAX_SLOTS).map(|i| format!("v{i}")).collect();
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let schema = Schema::new(vec![Attribute::new(
+            "a",
+            builders::suppression("a", &label_refs).unwrap(),
+        )])
+        .unwrap();
+        let col: Vec<u32> =
+            (0..3_000u32).map(|i| (i * 97) % (DENSE_MAX_SLOTS as u32 + 1)).collect();
+        let t = Table::from_columns(schema, vec![col]).unwrap();
+        let spec = GroupSpec::ground(&[0]).unwrap();
+        let space = KeySpace::for_spec(t.schema(), &spec);
+        assert_eq!(space.slots, Some(DENSE_MAX_SLOTS + 1));
+        assert!(space.is_packable() && !space.is_dense());
+        assert_tiers_agree(&t, &spec);
+    }
+
+    #[test]
+    fn max_width_keys_agree_across_tiers_and_wider_specs_error() {
+        // 16 binary attributes: a full-width GroupKey and exactly 2^16
+        // slots — the dense boundary reached at MAX_KEY_ATTRS.
+        let schema = Schema::new(
+            (0..MAX_KEY_ATTRS)
+                .map(|i| {
+                    let name = format!("a{i}");
+                    Attribute::new(&name, builders::suppression(&name, &["0", "1"]).unwrap())
+                })
+                .collect(),
+        )
+        .unwrap();
+        let mut cols: Vec<Vec<u32>> = vec![Vec::new(); MAX_KEY_ATTRS];
+        for i in 0..2_000u32 {
+            for (j, col) in cols.iter_mut().enumerate() {
+                col.push((i >> (j % 11)) & 1);
+            }
+        }
+        let t = Table::from_columns(schema, cols).unwrap();
+        let spec = GroupSpec::ground(&(0..MAX_KEY_ATTRS).collect::<Vec<_>>()).unwrap();
+        let space = KeySpace::for_spec(t.schema(), &spec);
+        assert_eq!(space.slots, Some(DENSE_MAX_SLOTS));
+        assert_tiers_agree(&t, &spec);
+        // One more attribute cannot form a group key at all: the same
+        // overflow GroupKey::try_push reports, surfaced as KeyTooWide.
+        assert!(matches!(
+            GroupSpec::new((0..=MAX_KEY_ATTRS).map(|a| (a, 0)).collect()),
+            Err(TableError::KeyTooWide(_))
+        ));
     }
 
     #[test]

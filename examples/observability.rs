@@ -100,6 +100,7 @@ fn phase_table(label: &str, stats: &SearchStats) {
 fn fmt_metric(s: &MetricsSnapshot, name: &str) -> String {
     match s.iter().find(|(n, _)| *n == name) {
         Some((_, MetricValue::Counter(v))) => v.to_string(),
+        Some((_, MetricValue::Gauge(v))) => v.to_string(),
         Some((_, MetricValue::Timer(t))) => {
             format!("{:.2}ms/{}", t.total.as_secs_f64() * 1e3, t.count)
         }

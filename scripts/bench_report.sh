@@ -62,13 +62,19 @@ with open(sys.argv[2]) as f:
 events = tdoc["traceEvents"]
 assert events, "trace has no events"
 names = set()
+counter_tracks = set()
 for e in events:
-    assert e["ph"] == "X", f"unexpected phase {e['ph']!r}"
-    assert e["dur"] >= 0 and e["ts"] >= 0, "negative timestamp"
-    names.add(e["name"])
+    assert e["ph"] in ("X", "C"), f"unexpected phase {e['ph']!r}"
+    assert e["ts"] >= 0, "negative timestamp"
+    if e["ph"] == "X":
+        assert e["dur"] >= 0, "negative duration"
+        names.add(e["name"])
+    else:
+        counter_tracks.add(e["name"])
 for required in ("search", "iteration", "check", "table.scan"):
     assert required in names, f"trace lacks {required!r} spans"
-print(f"OK: {sys.argv[2]} valid ({len(events)} spans)")
+assert "mem.live_bytes" in counter_tracks, "trace lacks the live-bytes counter track"
+print(f"OK: {sys.argv[2]} valid ({len(events)} events, counter tracks: {sorted(counter_tracks)})")
 PY
 else
   # Minimal fallback: the files are non-empty and mention required keys.
@@ -93,6 +99,38 @@ if [ "$sweep" -eq 1 ]; then
     echo "OK: thread sweep t=$t -> results/BENCH_fig09_datasets_t${t}.json"
   done
   cp results/BENCH_fig09_datasets_t1.json "$report"
+fi
+
+# Memory accounting: every report under results/ (and the committed
+# baseline) must carry the tracking allocator's numbers — a top-level
+# process summary plus per-run peaks and allocation counts.
+if command -v python3 >/dev/null 2>&1; then
+  for f in results/BENCH_*.json results/baseline/BENCH_*.json; do
+    [ -e "$f" ] || continue
+    python3 - "$f" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+mem = doc.get("memory")
+assert mem, "report has no top-level memory section"
+assert mem["peak_live_bytes"] > 0, "zero process peak"
+for run in doc["runs"]:
+    m = run.get("memory")
+    assert m, f"run {run['label']!r} has no memory section"
+    assert m["peak_live_bytes"] > 0, f"run {run['label']!r} has zero peak"
+    assert m["allocs"] > 0, f"run {run['label']!r} has zero allocs"
+print(f"OK: {sys.argv[1]} memory sections valid")
+PY
+  done
+else
+  for f in results/BENCH_*.json results/baseline/BENCH_*.json; do
+    [ -e "$f" ] || continue
+    grep -q '"peak_live_bytes"' "$f" || {
+      echo "FAIL: $f lacks memory accounting" >&2
+      exit 1
+    }
+  done
+  echo "OK: memory sections present (python3 unavailable; grep check)"
 fi
 
 # Inventory: every output under results/ must be documented in

@@ -2,18 +2,22 @@
 //! artifacts under `results/`.
 //!
 //! ```text
-//! incognito-report diff <old.json> <new.json> [--timings] [--threshold <pct>]
-//! incognito-report gate --baseline <dir> [--candidate <dir>] [--threshold <pct>] [--gate-timings]
+//! incognito-report diff <old.json> <new.json> [--timings] [--memory] [--threshold <pct>] [--mem-threshold <pct>]
+//! incognito-report gate --baseline <dir> [--candidate <dir>] [--threshold <pct>] [--gate-timings] [--memory] [--mem-threshold <pct>]
 //! incognito-report explain <trace.json>
 //! ```
 //!
 //! * `diff` prints a per-metric delta table between two `BENCH_*.json`
-//!   reports (counters by default; add `--timings` for wall clocks).
+//!   reports (counters by default; add `--timings` for wall clocks,
+//!   `--memory` for allocation accounting).
 //! * `gate` pairs every `BENCH_*.json` in the baseline directory with the
 //!   same-named file in the candidate directory (default `results/`) and
 //!   fails when any gated metric regresses past the threshold (default
 //!   5%). Deterministic counters are always gated; timings only with
-//!   `--gate-timings`.
+//!   `--gate-timings`; allocation metrics (`memory.peak_live_bytes`,
+//!   `memory.allocated_bytes`, `memory.allocs`) only with `--memory`,
+//!   against their own `--mem-threshold` band (default 25% — peaks move
+//!   with allocator layout and scheduling, not just with the algorithm).
 //! * `explain` folds a `TRACE_*.json` Chrome trace back into the
 //!   per-iteration search plan and a span profile.
 //!
@@ -22,12 +26,12 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use incognito::report::{diff, explain_trace, gate, load_trace, render_diff, BenchDoc};
+use incognito::report::{diff, explain_trace, gate, load_trace, render_diff, BenchDoc, GateConfig};
 
 const USAGE: &str = "\
 usage:
-  incognito-report diff <old.json> <new.json> [--timings] [--threshold <pct>]
-  incognito-report gate --baseline <dir> [--candidate <dir>] [--threshold <pct>] [--gate-timings]
+  incognito-report diff <old.json> <new.json> [--timings] [--memory] [--threshold <pct>] [--mem-threshold <pct>]
+  incognito-report gate --baseline <dir> [--candidate <dir>] [--threshold <pct>] [--gate-timings] [--memory] [--mem-threshold <pct>]
   incognito-report explain <trace.json>";
 
 fn main() -> ExitCode {
@@ -54,6 +58,10 @@ fn run(args: &[String]) -> Result<bool, String> {
         Some(v) => v.parse().map_err(|_| format!("bad --threshold value: {v}"))?,
         None => 5.0,
     };
+    let mem_threshold: f64 = match flag_value(args, "--mem-threshold") {
+        Some(v) => v.parse().map_err(|_| format!("bad --mem-threshold value: {v}"))?,
+        None => 25.0,
+    };
     match args.first().map(String::as_str) {
         Some("diff") => {
             let paths: Vec<&String> =
@@ -63,7 +71,16 @@ fn run(args: &[String]) -> Result<bool, String> {
             };
             let old = BenchDoc::load(Path::new(old_path))?;
             let new = BenchDoc::load(Path::new(new_path))?;
-            print!("{}", render_diff(&diff(&old, &new), has_flag(args, "--timings"), threshold));
+            print!(
+                "{}",
+                render_diff(
+                    &diff(&old, &new),
+                    has_flag(args, "--timings"),
+                    has_flag(args, "--memory"),
+                    threshold,
+                    mem_threshold,
+                )
+            );
             Ok(true)
         }
         Some("gate") => {
@@ -72,7 +89,13 @@ fn run(args: &[String]) -> Result<bool, String> {
             );
             let candidate =
                 PathBuf::from(flag_value(args, "--candidate").unwrap_or_else(|| "results".to_owned()));
-            gate_dirs(&baseline, &candidate, threshold, has_flag(args, "--gate-timings"))
+            let cfg = GateConfig {
+                threshold_pct: threshold,
+                gate_timings: has_flag(args, "--gate-timings"),
+                gate_memory: has_flag(args, "--memory"),
+                memory_threshold_pct: mem_threshold,
+            };
+            gate_dirs(&baseline, &candidate, &cfg)
         }
         Some("explain") => {
             let path = args
@@ -87,12 +110,8 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
 }
 
-fn gate_dirs(
-    baseline: &Path,
-    candidate: &Path,
-    threshold: f64,
-    gate_timings: bool,
-) -> Result<bool, String> {
+fn gate_dirs(baseline: &Path, candidate: &Path, cfg: &GateConfig) -> Result<bool, String> {
+    let threshold = cfg.threshold_pct;
     let mut reports: Vec<PathBuf> = std::fs::read_dir(baseline)
         .map_err(|e| format!("cannot read baseline dir {}: {e}", baseline.display()))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -112,20 +131,33 @@ fn gate_dirs(
         let new_path = candidate.join(file);
         let old = BenchDoc::load(old_path)?;
         let new = BenchDoc::load(&new_path)?;
-        let report = gate(&old, &new, threshold, gate_timings)?;
+        let report = gate(&old, &new, cfg)?;
         println!(
             "== {} (threshold {threshold}%, {} metrics, {} regressions) ==",
             file.to_string_lossy(),
             report.deltas.len(),
             report.regressions.len()
         );
-        print!("{}", render_diff(&report.deltas, gate_timings, threshold));
+        print!(
+            "{}",
+            render_diff(
+                &report.deltas,
+                cfg.gate_timings,
+                cfg.gate_memory,
+                threshold,
+                cfg.memory_threshold_pct,
+            )
+        );
         if !report.regressions.is_empty() {
             clean = false;
             for r in &report.regressions {
                 eprintln!(
-                    "REGRESSION: {} {} went {} -> {} (threshold {threshold}%)",
-                    r.key, r.metric, r.old, r.new
+                    "REGRESSION: {} {} went {} -> {} (threshold {}%)",
+                    r.key,
+                    r.metric,
+                    r.old,
+                    r.new,
+                    cfg.threshold_for(r)
                 );
             }
         }

@@ -6,8 +6,10 @@
 //!   parameters plus per-run counters and timings;
 //! * [`diff`] pairs two reports run-by-run and yields per-metric deltas;
 //! * [`gate`] turns a diff into a pass/fail verdict against a threshold —
-//!   deterministic counters are always gated, wall-clock timings only on
-//!   request (they are noisy on shared CI hardware);
+//!   deterministic counters are always gated, wall-clock timings and
+//!   allocation accounting only on request (timings are noisy on shared
+//!   CI hardware; memory gets its own, wider tolerance band because peak
+//!   live bytes move with allocator and thread-scheduling details);
 //! * [`explain_trace`] folds a span tree back into the paper's Figure 12
 //!   style per-iteration table plus a self-time profile.
 //!
@@ -23,8 +25,16 @@ use incognito_obs::Json;
 
 /// Top-level report fields that identify the *recording*, not the
 /// workload: two reports may differ in all of these and still be
-/// comparable.
-const VOLATILE_FIELDS: [&str; 5] = ["report_version", "tool_version", "unix_time", "git", "runs"];
+/// comparable. `memory` is the process allocation summary — a
+/// measurement, not a parameter.
+const VOLATILE_FIELDS: [&str; 6] =
+    ["report_version", "tool_version", "unix_time", "git", "runs", "memory"];
+
+/// The per-run `memory` fields that are comparable across reports. Flows
+/// that depend on how long the process ran before the run (live bytes at
+/// run end) are excluded; peak footprint and allocation count are the
+/// regression signals.
+const MEMORY_METRICS: [&str; 3] = ["peak_live_bytes", "allocated_bytes", "allocs"];
 
 /// Identity of one recorded run inside a report: algorithm label,
 /// dataset, `k`, and quasi-identifier arity. Reports are paired run-by-run
@@ -57,6 +67,10 @@ pub struct Run {
     pub counters: Vec<(String, i64)>,
     /// Wall-clock timings in seconds, e.g. `timings.scan_secs`.
     pub timings: Vec<(String, f64)>,
+    /// Allocation accounting, e.g. `memory.peak_live_bytes` (see
+    /// [`MEMORY_METRICS`]). Empty for reports written before the
+    /// tracking allocator existed.
+    pub memory: Vec<(String, i64)>,
 }
 
 /// A parsed `BENCH_*.json` report.
@@ -148,7 +162,17 @@ fn run_from_json(run: &Json) -> Result<Run, String> {
             }
         }
     }
-    Ok(Run { key, counters, timings })
+    let mut memory = Vec::new();
+    if let Some(Json::Obj(mem)) = run.get("memory") {
+        for (name, value) in mem {
+            if MEMORY_METRICS.contains(&name.as_str()) {
+                if let Some(x) = value.as_int() {
+                    memory.push((format!("memory.{name}"), x));
+                }
+            }
+        }
+    }
+    Ok(Run { key, counters, timings, memory })
 }
 
 /// One metric compared across two reports.
@@ -166,6 +190,9 @@ pub struct Delta {
     pub pct: Option<f64>,
     /// Timings are gated only on request; counters always.
     pub is_timing: bool,
+    /// Allocation metrics are gated only on request, against their own
+    /// (wider) threshold.
+    pub is_memory: bool,
 }
 
 impl Delta {
@@ -188,30 +215,67 @@ pub fn diff(old: &BenchDoc, new: &BenchDoc) -> Vec<Delta> {
         };
         for (metric, old_v) in &old_run.counters {
             if let Some((_, new_v)) = new_run.counters.iter().find(|(m, _)| m == metric) {
-                deltas.push(make_delta(&old_run.key, metric, *old_v as f64, *new_v as f64, false));
+                deltas.push(make_delta(
+                    &old_run.key,
+                    metric,
+                    *old_v as f64,
+                    *new_v as f64,
+                    false,
+                    false,
+                ));
             }
         }
         for (metric, old_v) in &old_run.timings {
             if let Some((_, new_v)) = new_run.timings.iter().find(|(m, _)| m == metric) {
-                deltas.push(make_delta(&old_run.key, metric, *old_v, *new_v, true));
+                deltas.push(make_delta(&old_run.key, metric, *old_v, *new_v, true, false));
+            }
+        }
+        for (metric, old_v) in &old_run.memory {
+            if let Some((_, new_v)) = new_run.memory.iter().find(|(m, _)| m == metric) {
+                deltas.push(make_delta(
+                    &old_run.key,
+                    metric,
+                    *old_v as f64,
+                    *new_v as f64,
+                    false,
+                    true,
+                ));
             }
         }
     }
     deltas
 }
 
-fn make_delta(key: &RunKey, metric: &str, old: f64, new: f64, is_timing: bool) -> Delta {
+fn make_delta(
+    key: &RunKey,
+    metric: &str,
+    old: f64,
+    new: f64,
+    is_timing: bool,
+    is_memory: bool,
+) -> Delta {
     let pct = if old != 0.0 { Some((new - old) / old * 100.0) } else { None };
-    Delta { key: key.clone(), metric: metric.to_owned(), old, new, pct, is_timing }
+    Delta { key: key.clone(), metric: metric.to_owned(), old, new, pct, is_timing, is_memory }
 }
 
 /// Render deltas as an aligned text table. Timings are hidden unless
-/// `show_timings`; unchanged counters are always elided to keep the
-/// table focused on movement.
-pub fn render_diff(deltas: &[Delta], show_timings: bool, threshold_pct: f64) -> String {
+/// `show_timings` and memory metrics unless `show_memory`; unchanged
+/// counters are always elided to keep the table focused on movement.
+/// Memory rows judge "REGRESSED" against `memory_threshold_pct`,
+/// everything else against `threshold_pct`.
+pub fn render_diff(
+    deltas: &[Delta],
+    show_timings: bool,
+    show_memory: bool,
+    threshold_pct: f64,
+    memory_threshold_pct: f64,
+) -> String {
     let mut rows: Vec<[String; 5]> = Vec::new();
     for d in deltas {
         if d.is_timing && !show_timings {
+            continue;
+        }
+        if d.is_memory && !show_memory {
             continue;
         }
         if !d.is_timing && d.old == d.new {
@@ -225,7 +289,8 @@ pub fn render_diff(deltas: &[Delta], show_timings: bool, threshold_pct: f64) -> 
             None if d.new == d.old => "=".to_owned(),
             None => "new".to_owned(),
         };
-        let verdict = if d.regressed(threshold_pct) {
+        let verdict = if d.regressed(if d.is_memory { memory_threshold_pct } else { threshold_pct })
+        {
             "REGRESSED"
         } else if d.new < d.old {
             "improved"
@@ -290,17 +355,57 @@ pub struct GateReport {
     pub regressions: Vec<Delta>,
 }
 
+/// What [`gate`] checks and how hard.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Regression tolerance for counters (and timings) in percent.
+    pub threshold_pct: f64,
+    /// Gate wall-clock timings (noisy on shared hardware; off by default).
+    pub gate_timings: bool,
+    /// Gate allocation metrics (`memory.peak_live_bytes` etc.).
+    pub gate_memory: bool,
+    /// Regression tolerance for allocation metrics. Wider than the
+    /// counter threshold: peak live bytes move with allocator layout and
+    /// thread scheduling, not just with algorithmic behavior.
+    pub memory_threshold_pct: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            threshold_pct: 5.0,
+            gate_timings: false,
+            gate_memory: false,
+            memory_threshold_pct: 25.0,
+        }
+    }
+}
+
+impl GateConfig {
+    /// The threshold that applies to `d`.
+    pub fn threshold_for(&self, d: &Delta) -> f64 {
+        if d.is_memory { self.memory_threshold_pct } else { self.threshold_pct }
+    }
+
+    fn gated(&self, d: &Delta) -> bool {
+        if d.is_timing {
+            self.gate_timings
+        } else if d.is_memory {
+            self.gate_memory
+        } else {
+            true
+        }
+    }
+}
+
 /// Compare a candidate report against a committed baseline. Returns
 /// `Err` — a *mismatch*, distinct from a regression — when the two
 /// reports describe different workloads: different report name, different
 /// workload parameters, or baseline runs absent from the candidate.
-/// Counters are always gated; timings only when `gate_timings`.
-pub fn gate(
-    old: &BenchDoc,
-    new: &BenchDoc,
-    threshold_pct: f64,
-    gate_timings: bool,
-) -> Result<GateReport, String> {
+/// Counters are always gated; timings only when [`GateConfig::gate_timings`]
+/// and allocation metrics only when [`GateConfig::gate_memory`] (against
+/// [`GateConfig::memory_threshold_pct`]).
+pub fn gate(old: &BenchDoc, new: &BenchDoc, cfg: &GateConfig) -> Result<GateReport, String> {
     if old.name != new.name {
         return Err(format!("report name mismatch: baseline {:?} vs candidate {:?}", old.name, new.name));
     }
@@ -324,7 +429,7 @@ pub fn gate(
     let deltas = diff(old, new);
     let regressions = deltas
         .iter()
-        .filter(|d| (gate_timings || !d.is_timing) && d.regressed(threshold_pct))
+        .filter(|d| cfg.gated(d) && d.regressed(cfg.threshold_for(d)))
         .cloned()
         .collect();
     Ok(GateReport { deltas, regressions })
@@ -524,7 +629,13 @@ pub fn explain_trace(records: &[TraceRecord]) -> String {
 mod tests {
     use super::*;
 
-    fn doc(name: &str, rows: i64, nodes_checked: i64, wall: f64) -> BenchDoc {
+    fn doc_with_peak(
+        name: &str,
+        rows: i64,
+        nodes_checked: i64,
+        wall: f64,
+        peak: i64,
+    ) -> BenchDoc {
         let mut run = Json::obj();
         run.set("label", "Basic Incognito");
         run.set("dataset", "adults");
@@ -536,17 +647,32 @@ mod tests {
         stats.set("nodes_checked", nodes_checked);
         stats.set("table_scans", 80i64);
         run.set("stats", stats);
+        let mut mem = Json::obj();
+        mem.set("peak_live_bytes", peak);
+        mem.set("live_bytes", 64i64);
+        mem.set("allocated_bytes", 4 * peak);
+        mem.set("allocs", 5_000i64);
+        run.set("memory", mem);
         let mut d = Json::obj();
         d.set("name", name);
         d.set("rows_adults", rows);
         d.set("runs", Json::Arr(vec![run]));
+        d.set("memory", Json::obj());
         BenchDoc::from_json(&d).unwrap()
+    }
+
+    fn doc(name: &str, rows: i64, nodes_checked: i64, wall: f64) -> BenchDoc {
+        doc_with_peak(name, rows, nodes_checked, wall, 1_000_000)
+    }
+
+    fn cfg(threshold_pct: f64, gate_timings: bool) -> GateConfig {
+        GateConfig { threshold_pct, gate_timings, ..GateConfig::default() }
     }
 
     #[test]
     fn identical_reports_gate_clean() {
         let a = doc("fig09", 1000, 116, 0.08);
-        let g = gate(&a, &a, 5.0, true).unwrap();
+        let g = gate(&a, &a, &cfg(5.0, true)).unwrap();
         assert!(g.regressions.is_empty());
         assert!(!g.deltas.is_empty());
     }
@@ -555,14 +681,14 @@ mod tests {
     fn counter_regression_past_threshold_fails() {
         let old = doc("fig09", 1000, 100, 0.08);
         let new = doc("fig09", 1000, 120, 0.08);
-        let g = gate(&old, &new, 10.0, false).unwrap();
+        let g = gate(&old, &new, &cfg(10.0, false)).unwrap();
         assert_eq!(g.regressions.len(), 1);
         assert_eq!(g.regressions[0].metric, "stats.nodes_checked");
         // Within threshold: 5% growth gated at 10% passes.
-        let ok = gate(&old, &doc("fig09", 1000, 105, 0.08), 10.0, false).unwrap();
+        let ok = gate(&old, &doc("fig09", 1000, 105, 0.08), &cfg(10.0, false)).unwrap();
         assert!(ok.regressions.is_empty());
         // Improvements never fail.
-        let better = gate(&old, &doc("fig09", 1000, 80, 0.08), 10.0, false).unwrap();
+        let better = gate(&old, &doc("fig09", 1000, 80, 0.08), &cfg(10.0, false)).unwrap();
         assert!(better.regressions.is_empty());
     }
 
@@ -570,28 +696,56 @@ mod tests {
     fn timings_gated_only_on_request() {
         let old = doc("fig09", 1000, 100, 0.010);
         let new = doc("fig09", 1000, 100, 0.100);
-        assert!(gate(&old, &new, 5.0, false).unwrap().regressions.is_empty());
-        let strict = gate(&old, &new, 5.0, true).unwrap();
+        assert!(gate(&old, &new, &cfg(5.0, false)).unwrap().regressions.is_empty());
+        let strict = gate(&old, &new, &cfg(5.0, true)).unwrap();
         assert_eq!(strict.regressions.len(), 1);
         assert_eq!(strict.regressions[0].metric, "wall_secs");
     }
 
     #[test]
+    fn memory_gated_only_on_request_with_its_own_threshold() {
+        let old = doc_with_peak("fig09", 1000, 100, 0.08, 1_000_000);
+        let worse = doc_with_peak("fig09", 1000, 100, 0.08, 1_500_000);
+        // +50% peak: invisible to the default gate...
+        assert!(gate(&old, &worse, &cfg(5.0, false)).unwrap().regressions.is_empty());
+        // ...but caught with --memory at the default 25% band. Both the
+        // peak and the (4x-coupled) allocated_bytes flow regress.
+        let mem = GateConfig { gate_memory: true, ..GateConfig::default() };
+        let g = gate(&old, &worse, &mem).unwrap();
+        let names: Vec<&str> = g.regressions.iter().map(|d| d.metric.as_str()).collect();
+        assert!(names.contains(&"memory.peak_live_bytes"), "{names:?}");
+        assert!(g.regressions.iter().all(|d| d.is_memory));
+        // Growth inside the band passes: +10% at 25% tolerance.
+        let mild = doc_with_peak("fig09", 1000, 100, 0.08, 1_100_000);
+        assert!(gate(&old, &mild, &mem).unwrap().regressions.is_empty());
+        // A baseline without memory sections gates clean against a
+        // candidate that has them (metrics only on one side are skipped).
+        let mut legacy = old.clone();
+        for run in &mut legacy.runs {
+            run.memory.clear();
+        }
+        assert!(gate(&legacy, &worse, &mem).unwrap().regressions.is_empty());
+    }
+
+    #[test]
     fn workload_mismatch_is_an_error_not_a_regression() {
         let old = doc("fig09", 1000, 100, 0.08);
-        assert!(gate(&old, &doc("fig09", 2000, 100, 0.08), 5.0, false).is_err());
-        assert!(gate(&old, &doc("fig10", 1000, 100, 0.08), 5.0, false).is_err());
+        assert!(gate(&old, &doc("fig09", 2000, 100, 0.08), &cfg(5.0, false)).is_err());
+        assert!(gate(&old, &doc("fig10", 1000, 100, 0.08), &cfg(5.0, false)).is_err());
     }
 
     #[test]
     fn diff_renders_moved_counters() {
         let old = doc("fig09", 1000, 100, 0.08);
-        let new = doc("fig09", 1000, 120, 0.09);
-        let text = render_diff(&diff(&old, &new), false, 5.0);
+        let new = doc_with_peak("fig09", 1000, 120, 0.09, 2_000_000);
+        let text = render_diff(&diff(&old, &new), false, false, 5.0, 25.0);
         assert!(text.contains("stats.nodes_checked"), "{text}");
         assert!(text.contains("REGRESSED"), "{text}");
         assert!(text.contains("+20.0%"), "{text}");
         assert!(!text.contains("wall_secs"), "timings hidden by default: {text}");
+        assert!(!text.contains("memory."), "memory hidden by default: {text}");
+        let with_mem = render_diff(&diff(&old, &new), false, true, 5.0, 25.0);
+        assert!(with_mem.contains("memory.peak_live_bytes"), "{with_mem}");
     }
 
     #[test]

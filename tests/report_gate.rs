@@ -12,6 +12,10 @@ use incognito::obs::Json;
 
 /// A minimal but schema-faithful `BENCH_*.json` document.
 fn bench_doc(rows: i64, nodes_checked: i64, wall: f64) -> String {
+    bench_doc_with_peak(rows, nodes_checked, wall, 1_000_000)
+}
+
+fn bench_doc_with_peak(rows: i64, nodes_checked: i64, wall: f64, peak: i64) -> String {
     let mut run = Json::obj();
     run.set("label", "Basic Incognito");
     run.set("dataset", "adults");
@@ -23,6 +27,12 @@ fn bench_doc(rows: i64, nodes_checked: i64, wall: f64) -> String {
     stats.set("nodes_checked", nodes_checked);
     stats.set("table_scans", 80i64);
     run.set("stats", stats);
+    let mut mem = Json::obj();
+    mem.set("peak_live_bytes", peak);
+    mem.set("live_bytes", 64i64);
+    mem.set("allocated_bytes", 4 * peak);
+    mem.set("allocs", 5_000i64);
+    run.set("memory", mem);
     let mut doc = Json::obj();
     doc.set("name", "gate_selftest");
     doc.set("report_version", 1i64);
@@ -39,6 +49,15 @@ fn write_doc(dir: &Path, text: &str) {
 }
 
 fn run_gate(baseline: &Path, candidate: &Path, threshold: &str) -> (Option<i32>, String, String) {
+    run_gate_with(baseline, candidate, threshold, &[])
+}
+
+fn run_gate_with(
+    baseline: &Path,
+    candidate: &Path,
+    threshold: &str,
+    extra: &[&str],
+) -> (Option<i32>, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_incognito-report"))
         .args([
             "gate",
@@ -49,6 +68,7 @@ fn run_gate(baseline: &Path, candidate: &Path, threshold: &str) -> (Option<i32>,
             "--threshold",
             threshold,
         ])
+        .args(extra)
         .output()
         .expect("spawn incognito-report");
     (
@@ -97,6 +117,40 @@ fn gate_binary_exit_codes_match_the_contract() {
     fs::remove_file(candidate.join("BENCH_gate_selftest.json")).unwrap();
     let (code, _, _) = run_gate(&baseline, &candidate, "10");
     assert_eq!(code, Some(2), "missing candidate must be a usage error");
+
+    fs::remove_dir_all(&tmp).unwrap();
+}
+
+#[test]
+fn memory_gate_catches_injected_peak_regressions() {
+    let tmp: PathBuf =
+        std::env::temp_dir().join(format!("incognito_memgate_test_{}", std::process::id()));
+    let baseline = tmp.join("baseline");
+    let candidate = tmp.join("candidate");
+    write_doc(&baseline, &bench_doc_with_peak(1000, 100, 0.010, 1_000_000));
+
+    // Identical memory accounting: clean pass with the gate armed.
+    write_doc(&candidate, &bench_doc_with_peak(1000, 100, 0.010, 1_000_000));
+    let (code, stdout, _) = run_gate_with(&baseline, &candidate, "10", &["--memory"]);
+    assert_eq!(code, Some(0), "identical memory must pass\n{stdout}");
+
+    // Injected +50% peak: invisible without --memory...
+    write_doc(&candidate, &bench_doc_with_peak(1000, 100, 0.010, 1_500_000));
+    let (code, _, _) = run_gate(&baseline, &candidate, "10");
+    assert_eq!(code, Some(0), "memory is not gated by default");
+
+    // ...caught with it (default 25% memory band), exit 1.
+    let (code, stdout, stderr) = run_gate_with(&baseline, &candidate, "10", &["--memory"]);
+    assert_eq!(code, Some(1), "peak regression must fail\n{stdout}{stderr}");
+    assert!(
+        stderr.contains("REGRESSION") && stderr.contains("memory.peak_live_bytes"),
+        "{stderr}"
+    );
+
+    // A widened band tolerates it.
+    let (code, _, _) =
+        run_gate_with(&baseline, &candidate, "10", &["--memory", "--mem-threshold", "60"]);
+    assert_eq!(code, Some(0), "within-band memory growth must pass");
 
     fs::remove_dir_all(&tmp).unwrap();
 }
