@@ -9,8 +9,8 @@
 //! being described.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin fig09_datasets
-//!         [--rows-adults N] [--rows-landsend N] [--threads N] [--quick]
-//!         [--trace [path]]`
+//!         [--rows-adults N] [--rows-landsend N] [--threads N]
+//!         [--mem-budget BYTES] [--quick] [--trace [path]]`
 
 use incognito_bench::{init_tracing, write_trace, Algo, BenchReport, Cli, Series};
 use incognito_data::{adults, landsend};
@@ -34,11 +34,13 @@ fn main() {
     let adults_cfg = cli.adults_config();
     let landsend_cfg = cli.landsend_config(100_000);
     let threads = cli.threads();
+    let mem_budget = cli.mem_budget();
     let trace = init_tracing(&cli, "fig09_datasets");
     let mut report = BenchReport::new("fig09_datasets");
     report.set("rows_adults", adults_cfg.rows);
     report.set("rows_landsend", landsend_cfg.rows);
     report.set("threads", threads);
+    report.set_mem_budget(mem_budget);
 
     let a = adults::adults(&adults_cfg);
     describe("fig09_adults", &a);
@@ -47,7 +49,7 @@ fn main() {
         a.num_rows()
     );
     let qi: Vec<usize> = (0..5).collect();
-    let (r, wall) = Algo::BasicIncognito.run_with_threads(&a, &qi, 2, threads);
+    let (r, wall) = Algo::BasicIncognito.run_with_opts(&a, &qi, 2, threads, mem_budget);
     report.record_run("Basic Incognito", "adults", 2, qi.len(), &r, wall);
     drop(a);
 
@@ -58,7 +60,7 @@ fn main() {
         l.num_rows()
     );
     let qi: Vec<usize> = (0..5).collect();
-    let (r, wall) = Algo::BasicIncognito.run_with_threads(&l, &qi, 2, threads);
+    let (r, wall) = Algo::BasicIncognito.run_with_opts(&l, &qi, 2, threads, mem_budget);
     report.record_run("Basic Incognito", "landsend", 2, qi.len(), &r, wall);
 
     if cli.has("mem") {

@@ -8,8 +8,8 @@
 //! with per-run timings and engine metrics.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin fig10_qi_scaling
-//!         [--rows-adults N] [--rows-landsend N] [--threads N] [--quick]
-//!         [--trace [path]]`
+//!         [--rows-adults N] [--rows-landsend N] [--threads N]
+//!         [--mem-budget BYTES] [--quick] [--trace [path]]`
 //!
 //! `--quick` trims each sweep's largest sizes and the slowest baseline so a
 //! laptop pass completes in ~a minute.
@@ -27,6 +27,7 @@ fn panel(
     sizes: &[usize],
     algos: &[Algo],
     threads: usize,
+    mem_budget: Option<u64>,
     report: &mut BenchReport,
 ) {
     let mut headers = vec!["QI size".to_string()];
@@ -37,7 +38,7 @@ fn panel(
         let qi: Vec<usize> = (0..n).collect();
         let mut row = vec![n.to_string()];
         for &algo in algos {
-            let (result, elapsed) = algo.run_with_threads(table, &qi, k, threads);
+            let (result, elapsed) = algo.run_with_opts(table, &qi, k, threads, mem_budget);
             row.push(secs(elapsed));
             eprintln!(
                 "  {name} qi={n} {}: {}s ({} gens, {} nodes checked)",
@@ -60,12 +61,14 @@ fn main() {
     let landsend_cfg = cli.landsend_config(100_000);
 
     let threads = cli.threads();
+    let mem_budget = cli.mem_budget();
     let trace = init_tracing(&cli, "fig10_qi_scaling");
     let mut report = BenchReport::new("fig10_qi_scaling");
     report.set("rows_adults", adults_cfg.rows);
     report.set("rows_landsend", landsend_cfg.rows);
     report.set("quick", quick);
     report.set("threads", threads);
+    report.set_mem_budget(mem_budget);
 
     let algos: Vec<Algo> = if quick {
         Algo::ALL.into_iter().filter(|a| *a != Algo::BottomUpNoRollup).collect()
@@ -76,15 +79,15 @@ fn main() {
     eprintln!("generating Adults ({} rows)...", adults_cfg.rows);
     let a = adults::adults(&adults_cfg);
     let adult_sizes: Vec<usize> = if quick { (3..=6).collect() } else { (3..=9).collect() };
-    panel("fig10_adults_k2", "adults", &a, 2, &adult_sizes, &algos, threads, &mut report);
-    panel("fig10_adults_k10", "adults", &a, 10, &adult_sizes, &algos, threads, &mut report);
+    panel("fig10_adults_k2", "adults", &a, 2, &adult_sizes, &algos, threads, mem_budget, &mut report);
+    panel("fig10_adults_k10", "adults", &a, 10, &adult_sizes, &algos, threads, mem_budget, &mut report);
     drop(a);
 
     eprintln!("generating Lands End ({} rows)...", landsend_cfg.rows);
     let l = landsend::lands_end(&landsend_cfg);
     let lands_sizes: Vec<usize> = if quick { (1..=4).collect() } else { (1..=6).collect() };
-    panel("fig10_landsend_k2", "landsend", &l, 2, &lands_sizes, &algos, threads, &mut report);
-    panel("fig10_landsend_k10", "landsend", &l, 10, &lands_sizes, &algos, threads, &mut report);
+    panel("fig10_landsend_k2", "landsend", &l, 2, &lands_sizes, &algos, threads, mem_budget, &mut report);
+    panel("fig10_landsend_k10", "landsend", &l, 10, &lands_sizes, &algos, threads, mem_budget, &mut report);
 
     if cli.has("mem") {
         report.print_memory_table();

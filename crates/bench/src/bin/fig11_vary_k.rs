@@ -8,8 +8,8 @@
 //! finish QI 8 on the large table in reasonable time.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin fig11_vary_k
-//!         [--rows-adults N] [--rows-landsend N] [--threads N] [--quick]
-//!         [--trace [path]]`
+//!         [--rows-adults N] [--rows-landsend N] [--threads N]
+//!         [--mem-budget BYTES] [--quick] [--trace [path]]`
 
 use incognito_bench::{init_tracing, secs, write_trace, Algo, BenchReport, Cli, Series};
 use incognito_data::{adults, landsend};
@@ -23,12 +23,14 @@ fn main() {
     let landsend_cfg = cli.landsend_config(100_000);
 
     let threads = cli.threads();
+    let mem_budget = cli.mem_budget();
     let trace = init_tracing(&cli, "fig11_vary_k");
     let mut report = BenchReport::new("fig11_vary_k");
     report.set("rows_adults", adults_cfg.rows);
     report.set("rows_landsend", landsend_cfg.rows);
     report.set("quick", quick);
     report.set("threads", threads);
+    report.set_mem_budget(mem_budget);
 
     eprintln!("generating Adults ({} rows)...", adults_cfg.rows);
     let a = adults::adults(&adults_cfg);
@@ -47,7 +49,7 @@ fn main() {
     for k in KS {
         let mut row = vec![k.to_string()];
         for algo in algos {
-            let (r, elapsed) = algo.run_with_threads(&a, &adults_qi, k, threads);
+            let (r, elapsed) = algo.run_with_opts(&a, &adults_qi, k, threads, mem_budget);
             row.push(secs(elapsed));
             eprintln!("  adults k={k} {}: {}s ({} checked)", algo.label(), secs(elapsed), r.stats().nodes_checked());
             report.record_run(algo.label(), "adults", k, adults_n, &r, elapsed);
@@ -78,7 +80,7 @@ fn main() {
             (Algo::BasicIncognito, &inc_qi),
             (Algo::SuperRootsIncognito, &inc_qi),
         ] {
-            let (r, elapsed) = algo.run_with_threads(&l, qi, k, threads);
+            let (r, elapsed) = algo.run_with_opts(&l, qi, k, threads, mem_budget);
             row.push(secs(elapsed));
             eprintln!("  landsend k={k} {} qi={}: {}s ({} checked)", algo.label(), qi.len(), secs(elapsed), r.stats().nodes_checked());
             report.record_run(algo.label(), "landsend", k, qi.len(), &r, elapsed);

@@ -9,12 +9,12 @@
 //! cost once the cube is materialized is lower than Basic Incognito.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin fig12_cube_breakdown
-//!         [--rows-adults N] [--rows-landsend N] [--threads N] [--quick]
-//!         [--trace [path]]`
+//!         [--rows-adults N] [--rows-landsend N] [--threads N]
+//!         [--mem-budget BYTES] [--quick] [--trace [path]]`
 
 use std::time::Instant;
 
-use incognito_bench::{init_tracing, secs, write_trace, BenchReport, Cli, Series};
+use incognito_bench::{apply_budget, init_tracing, secs, write_trace, BenchReport, Cli, Series};
 use incognito_core::cube::{anonymize_with_cube, Cube};
 use incognito_core::{incognito, Config};
 use incognito_data::{adults, landsend};
@@ -26,6 +26,7 @@ fn panel(
     table: &Table,
     sizes: &[usize],
     threads: usize,
+    mem_budget: Option<u64>,
     report: &mut BenchReport,
 ) {
     let mut series = Series::new(
@@ -34,11 +35,10 @@ fn panel(
     );
     for &n in sizes {
         let qi: Vec<usize> = (0..n).collect();
-        let cfg = Config::new(2).with_threads(threads);
+        let cfg = apply_budget(Config::new(2).with_threads(threads), mem_budget);
 
         let t0 = Instant::now();
-        let cube =
-            Cube::build_with_threads(table, &qi, cfg.k, threads).expect("valid workload");
+        let cube = Cube::build_with_config(table, &qi, &cfg).expect("valid workload");
         let build = t0.elapsed();
         let t1 = Instant::now();
         let r = anonymize_with_cube(table, &cube, &cfg, &mut |_| {}).expect("valid workload");
@@ -76,23 +76,25 @@ fn main() {
     let landsend_cfg = cli.landsend_config(100_000);
 
     let threads = cli.threads();
+    let mem_budget = cli.mem_budget();
     let trace = init_tracing(&cli, "fig12_cube_breakdown");
     let mut report = BenchReport::new("fig12_cube_breakdown");
     report.set("rows_adults", adults_cfg.rows);
     report.set("rows_landsend", landsend_cfg.rows);
     report.set("quick", quick);
     report.set("threads", threads);
+    report.set_mem_budget(mem_budget);
 
     eprintln!("generating Adults ({} rows)...", adults_cfg.rows);
     let a = adults::adults(&adults_cfg);
     let adult_sizes: Vec<usize> = if quick { (3..=6).collect() } else { (3..=9).collect() };
-    panel("fig12_adults_k2", "adults", &a, &adult_sizes, threads, &mut report);
+    panel("fig12_adults_k2", "adults", &a, &adult_sizes, threads, mem_budget, &mut report);
     drop(a);
 
     eprintln!("generating Lands End ({} rows)...", landsend_cfg.rows);
     let l = landsend::lands_end(&landsend_cfg);
     let lands_sizes: Vec<usize> = if quick { (3..=5).collect() } else { (3..=8).collect() };
-    panel("fig12_landsend_k2", "landsend", &l, &lands_sizes, threads, &mut report);
+    panel("fig12_landsend_k2", "landsend", &l, &lands_sizes, threads, mem_budget, &mut report);
 
     if cli.has("mem") {
         report.print_memory_table();

@@ -8,11 +8,11 @@
 //! frequency-set check stays linear in the row count.
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin footnote2_distance_matrix
-//!         [--threads N] [--trace [path]]`
+//!         [--threads N] [--mem-budget BYTES] [--trace [path]]`
 
 use std::time::Instant;
 
-use incognito_bench::{init_tracing, secs, write_trace, BenchReport, Cli, Series};
+use incognito_bench::{apply_budget, init_tracing, secs, write_trace, BenchReport, Cli, Series};
 use incognito_core::distance_matrix::DistanceMatrix;
 use incognito_core::Config;
 use incognito_data::{adults, AdultsConfig};
@@ -23,13 +23,15 @@ fn main() {
     let cli = Cli::from_env();
     let qi = [0usize, 3, 4]; // Age × Marital × Education
     let threads = cli.threads();
-    let cfg = Config::new(2).with_threads(threads);
+    let mem_budget = cli.mem_budget();
+    let cfg = apply_budget(Config::new(2).with_threads(threads), mem_budget);
 
     let trace = init_tracing(&cli, "footnote2_distance_matrix");
     let mut report = BenchReport::new("footnote2_distance_matrix");
     report.set("k", cfg.k);
     report.set("qi_arity", qi.len());
     report.set("threads", threads);
+    report.set_mem_budget(mem_budget);
 
     let mut series = Series::new(
         "footnote2_distance_matrix",

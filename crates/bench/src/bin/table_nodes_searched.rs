@@ -17,7 +17,8 @@
 //! ```
 //!
 //! Usage: `cargo run -p incognito-bench --release --bin table_nodes_searched
-//!         [--rows-adults N] [--k K] [--threads N] [--trace [path]]`
+//!         [--rows-adults N] [--k K] [--threads N] [--mem-budget BYTES]
+//!         [--trace [path]]`
 
 use incognito_bench::{init_tracing, write_trace, Algo, BenchReport, Cli, Series};
 use incognito_data::adults;
@@ -28,11 +29,13 @@ fn main() {
     let cfg = cli.adults_config();
 
     let threads = cli.threads();
+    let mem_budget = cli.mem_budget();
     let trace = init_tracing(&cli, "table_nodes_searched");
     let mut report = BenchReport::new("table_nodes_searched");
     report.set("rows_adults", cfg.rows);
     report.set("k", k);
     report.set("threads", threads);
+    report.set_mem_budget(mem_budget);
 
     eprintln!("generating Adults ({} rows)...", cfg.rows);
     let table = adults::adults(&cfg);
@@ -43,8 +46,8 @@ fn main() {
     );
     for n in 3..=9usize {
         let qi: Vec<usize> = (0..n).collect();
-        let (bu, bu_wall) = Algo::BottomUpRollup.run_with_threads(&table, &qi, k, threads);
-        let (inc, inc_wall) = Algo::BasicIncognito.run_with_threads(&table, &qi, k, threads);
+        let (bu, bu_wall) = Algo::BottomUpRollup.run_with_opts(&table, &qi, k, threads, mem_budget);
+        let (inc, inc_wall) = Algo::BasicIncognito.run_with_opts(&table, &qi, k, threads, mem_budget);
         series.push(vec![
             n.to_string(),
             bu.stats().nodes_checked().to_string(),

@@ -89,13 +89,31 @@ impl Algo {
         k: u64,
         threads: usize,
     ) -> (AnonymizationResult, Duration) {
+        self.run_with_opts(table, qi, k, threads, Config::default_memory_budget())
+    }
+
+    /// [`Algo::run_with_threads`] with an explicit memory budget (the bench
+    /// binaries' `--mem-budget BYTES` flag). `None` means unlimited: every
+    /// frequency set stays in memory; with a budget, sets spill to disk
+    /// while the process's live bytes exceed it.
+    pub fn run_with_opts(
+        self,
+        table: &Table,
+        qi: &[usize],
+        k: u64,
+        threads: usize,
+        mem_budget: Option<u64>,
+    ) -> (AnonymizationResult, Duration) {
         let cfg = match self {
             Algo::BottomUpNoRollup => Config::new(k).with_rollup(false),
             Algo::BottomUpRollup | Algo::BinarySearch => Config::new(k),
             Algo::BasicIncognito | Algo::CubeIncognito => Config::new(k),
             Algo::SuperRootsIncognito => Config::new(k).with_superroots(true),
         };
-        let cfg = cfg.with_threads(threads);
+        let cfg = match mem_budget {
+            Some(b) => cfg.with_threads(threads).with_memory_budget(b),
+            None => cfg.with_threads(threads).with_unlimited_memory(),
+        };
         let start = Instant::now();
         let result = match self {
             Algo::BottomUpNoRollup | Algo::BottomUpRollup => {
@@ -113,6 +131,17 @@ impl Algo {
             Algo::CubeIncognito => cube_incognito(table, qi, &cfg).expect("valid workload"),
         };
         (result, start.elapsed())
+    }
+}
+
+/// Apply an optional memory budget to a config: `Some` caps live bytes,
+/// `None` lifts any budget (including the `INCOGNITO_MEM_BUDGET`
+/// environment default). Shared by the bench binaries that build their
+/// own [`Config`] instead of going through [`Algo::run_with_opts`].
+pub fn apply_budget(cfg: Config, mem_budget: Option<u64>) -> Config {
+    match mem_budget {
+        Some(b) => cfg.with_memory_budget(b),
+        None => cfg.with_unlimited_memory(),
     }
 }
 
@@ -255,6 +284,14 @@ impl Cli {
         self.get::<usize>("threads")
             .filter(|&n| n >= 1)
             .unwrap_or_else(Config::default_threads)
+    }
+
+    /// Memory budget in bytes from `--mem-budget BYTES`, falling back to
+    /// the `INCOGNITO_MEM_BUDGET` environment default. `None` (no flag, no
+    /// env var) means unlimited. Recorded in `BENCH_*.json` so reports from
+    /// budgeted runs are distinguishable.
+    pub fn mem_budget(&self) -> Option<u64> {
+        self.get::<u64>("mem-budget").or_else(Config::default_memory_budget)
     }
 
     /// Trace output path from `--trace [path]`. `None` when the flag is

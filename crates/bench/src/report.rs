@@ -70,6 +70,16 @@ impl BenchReport {
         self
     }
 
+    /// Record the memory budget the binary ran under (`--mem-budget` /
+    /// `INCOGNITO_MEM_BUDGET`), `null` when unlimited.
+    pub fn set_mem_budget(&mut self, budget: Option<u64>) -> &mut BenchReport {
+        match budget {
+            Some(b) => self.report.set("mem_budget", b),
+            None => self.report.set("mem_budget", Json::Null),
+        };
+        self
+    }
+
     /// Record one completed algorithm run: its identity (`label`,
     /// `dataset`, `k`, `qi_arity`), end-to-end wall-clock, the search
     /// statistics (per-phase timings and per-iteration counters), and the
@@ -159,6 +169,7 @@ impl BenchReport {
         let mut end = incognito_obs::mem::stats();
         end.peak_live_bytes = end.peak_live_bytes.max(self.peak_overall);
         self.report.set("memory", end.to_json());
+        self.report.set("spill", spill_json(&incognito_obs::snapshot()));
         let path = crate::results_dir().join(format!("BENCH_{}.json", self.report.name()));
         match self.report.write_to(&path) {
             Ok(_) => println!("(report written to {})", path.display()),
@@ -166,6 +177,19 @@ impl BenchReport {
         }
         path
     }
+}
+
+/// The out-of-core activity gauges (`table.spill.*`) as an ordered JSON
+/// object. All zeros when the run never exceeded its memory budget (or had
+/// none) — the section is always present so report consumers can rely on
+/// its shape.
+fn spill_json(snap: &MetricsSnapshot) -> Json {
+    let mut o = Json::obj();
+    o.set("spilled_sets", snap.gauge("table.spill.spilled_sets"));
+    o.set("partitions", snap.gauge("table.spill.partitions"));
+    o.set("bytes", snap.gauge("table.spill.bytes"));
+    o.set("upgrades", snap.gauge("table.spill.upgrades"));
+    o
 }
 
 /// The aggregate counters of [`SearchStats`] as an ordered JSON object.
@@ -267,6 +291,11 @@ mod tests {
         // Top-level memory summary: process flows plus the max per-run peak.
         let mem = parsed.get("memory").unwrap();
         assert!(mem.get("peak_live_bytes").and_then(Json::as_int).unwrap_or(0) > 0);
+        // Spill section is always present; this unbudgeted run never spilled.
+        let spill = parsed.get("spill").unwrap();
+        for key in ["spilled_sets", "partitions", "bytes", "upgrades"] {
+            assert_eq!(spill.get(key).and_then(Json::as_int), Some(0), "{key}");
+        }
         std::fs::remove_file(&path).ok();
     }
 }

@@ -16,6 +16,7 @@ use incognito_table::Table;
 use incognito_lattice::CandidateGraph;
 
 use crate::error::validate_qi;
+use crate::provider::FreqProvider;
 use crate::{AlgoError, AnonymizationResult, Config, Generalization, IterationStats, SearchStats};
 
 /// Run Samarati's binary search. The result holds every k-anonymous node at
@@ -58,6 +59,7 @@ pub fn samarati_binary_search(
     };
 
     // Probe one height: collect the k-anonymous nodes at that height.
+    let provider = FreqProvider::new(table, cfg);
     let probe = |h: u32, stats: &mut SearchStats, it: &mut IterationStats| -> Result<Vec<u32>, AlgoError> {
         let mut probe_span = incognito_obs::trace::span("probe")
             .arg("height", h as u64)
@@ -69,12 +71,12 @@ pub fn samarati_binary_search(
                 check_span.set_arg("node", crate::trace::spec_label(&lattice.node(id).parts));
             }
             let t0 = std::time::Instant::now();
-            let freq = cfg.scan(table, &lattice.node(id).to_group_spec()?)?;
+            let freq = provider.scan(&lattice.node(id).to_group_spec()?, cfg.threads)?;
             stats.timings.scan += t0.elapsed();
             stats.freq_from_scan += 1;
             stats.table_scans += 1;
             it.nodes_checked += 1;
-            let anonymous = cfg.passes(&freq);
+            let anonymous = cfg.passes_handle(&freq)?;
             check_span.set_arg("anonymous", anonymous);
             if anonymous {
                 hits.push(id);

@@ -13,10 +13,11 @@
 use std::collections::VecDeque;
 
 use incognito_table::fxhash::FxHashMap;
-use incognito_table::{FrequencySet, Table};
+use incognito_table::Table;
 use incognito_lattice::{CandidateGraph, NodeId};
 
 use crate::error::validate_qi;
+use crate::provider::{FreqHandle, FreqProvider};
 use crate::{AlgoError, AnonymizationResult, Config, Generalization, IterationStats, SearchStats};
 
 /// Exhaustive bottom-up BFS over the full-QI lattice. Returns all
@@ -61,8 +62,9 @@ pub fn bottom_up_search(
     }
 
     let mut anonymous = vec![false; num];
+    let provider = FreqProvider::new(table, cfg);
     // Cache for rollup: freed once all direct generalizations are computed.
-    let mut cache: FxHashMap<NodeId, FrequencySet> = FxHashMap::default();
+    let mut cache: FxHashMap<NodeId, FreqHandle> = FxHashMap::default();
     let mut pending_out: Vec<u32> =
         (0..num).map(|id| lattice.direct_generalizations(id as NodeId).len() as u32).collect();
 
@@ -77,7 +79,7 @@ pub fn bottom_up_search(
                 Some(pfreq) => {
                     stats.freq_from_rollup += 1;
                     let t0 = std::time::Instant::now();
-                    let f = pfreq.rollup(&schema, &lattice.node(node).levels())?;
+                    let f = provider.rollup(pfreq, &schema, &lattice.node(node).levels())?;
                     stats.timings.rollup += t0.elapsed();
                     f
                 }
@@ -85,7 +87,7 @@ pub fn bottom_up_search(
                     stats.freq_from_scan += 1;
                     stats.table_scans += 1;
                     let t0 = std::time::Instant::now();
-                    let f = cfg.scan(table, &spec)?;
+                    let f = provider.scan(&spec, cfg.threads)?;
                     stats.timings.scan += t0.elapsed();
                     f
                 }
@@ -94,12 +96,12 @@ pub fn bottom_up_search(
             stats.freq_from_scan += 1;
             stats.table_scans += 1;
             let t0 = std::time::Instant::now();
-            let f = cfg.scan(table, &spec)?;
+            let f = provider.scan(&spec, cfg.threads)?;
             stats.timings.scan += t0.elapsed();
             f
         };
         it_stats.nodes_checked += 1;
-        anonymous[node as usize] = cfg.passes(&freq);
+        anonymous[node as usize] = cfg.passes_handle(&freq)?;
         check_span.set_arg("anonymous", anonymous[node as usize]);
 
         for &g in lattice.direct_generalizations(node) {

@@ -11,10 +11,11 @@
 
 use std::time::Instant;
 
-use incognito_table::{FrequencySet, GroupSpec, Table};
+use incognito_table::{GroupSpec, Table};
 
 use crate::error::validate_qi;
 use crate::incognito::{incognito_impl, AltSource, ZeroCube};
+use crate::provider::{FreqHandle, FreqProvider};
 use crate::trace::TraceEvent;
 use crate::{AlgoError, AnonymizationResult, Config};
 
@@ -37,34 +38,46 @@ impl Cube {
         Self::build_with_threads(table, qi, k, 1)
     }
 
-    /// [`Cube::build`] with a worker-thread count. With `threads > 1` the
-    /// seeding scan splits by row and every popcount level of subsets
-    /// projects concurrently (one task per subset) — subsets of equal
-    /// arity derive from disjoint one-wider parents already in the cube,
-    /// so a level has no intra-level dependencies and the resulting cube
-    /// is identical to a serial build.
+    /// [`Cube::build`] with a worker-thread count (see
+    /// [`Cube::build_with_config`] for the full knob set).
     pub fn build_with_threads(
         table: &Table,
         qi: &[usize],
         k: u64,
         threads: usize,
     ) -> Result<Cube, AlgoError> {
+        Self::build_with_config(table, qi, &Config::new(k).with_threads(threads))
+    }
+
+    /// Build the cube under a [`Config`]. With `cfg.threads > 1` the
+    /// seeding scan splits by row and every popcount level of subsets
+    /// projects concurrently (one task per subset) — subsets of equal
+    /// arity derive from disjoint one-wider parents already in the cube,
+    /// so a level has no intra-level dependencies and the resulting cube
+    /// is identical to a serial build. With `cfg.memory_budget` set, the
+    /// seed scan and every projection go through the [`FreqProvider`]:
+    /// an over-budget cube spills its subsets to disk and derives
+    /// narrower subsets partition-by-partition (the Subset Property,
+    /// out-of-core).
+    pub fn build_with_config(
+        table: &Table,
+        qi: &[usize],
+        cfg: &Config,
+    ) -> Result<Cube, AlgoError> {
         let schema = table.schema().clone();
-        let qi = validate_qi(&schema, qi, k)?;
+        let qi = validate_qi(&schema, qi, cfg.k)?;
+        let threads = cfg.threads;
         let n = qi.len();
         let mut cube_span = incognito_obs::trace::span("cube.build")
             .arg("qi_arity", n as u64);
         let start = Instant::now();
         let pool = (threads > 1).then(|| incognito_exec::shared(threads));
+        let provider = FreqProvider::new(table, cfg);
 
         let mut freq: ZeroCube = ZeroCube::default();
         let full_mask: u32 = (1u32 << n) - 1;
         let spec = GroupSpec::ground(&qi)?;
-        let full = if threads > 1 {
-            table.frequency_set_parallel(&spec, threads)?
-        } else {
-            table.frequency_set(&spec)?
-        };
+        let full = provider.scan(&spec, threads)?;
         freq.insert(full_mask, full);
 
         let mut projections = 0usize;
@@ -74,7 +87,7 @@ impl Cube {
         for pc in (1..n as u32).rev() {
             let masks: Vec<u32> =
                 (1..full_mask).filter(|m| m.count_ones() == pc).collect();
-            let project_one = |mask: u32| -> Result<FrequencySet, AlgoError> {
+            let project_one = |mask: u32| -> Result<FreqHandle, AlgoError> {
                 let add =
                     (0..n as u32).find(|b| mask & (1 << b) == 0).expect("not full");
                 let parent_mask = mask | (1 << add);
@@ -87,9 +100,9 @@ impl Cube {
                     .filter(|&(_, b)| mask & (1 << b) != 0)
                     .map(|(pos, _)| pos)
                     .collect();
-                Ok(parent.project(&keep)?)
+                provider.project(parent, &keep)
             };
-            let projected: Vec<Result<FrequencySet, AlgoError>> = match &pool {
+            let projected: Vec<Result<FreqHandle, AlgoError>> = match &pool {
                 Some(pool) if masks.len() > 1 => {
                     pool.parallel_map(&masks, |_, &m| project_one(m))
                 }
@@ -111,8 +124,9 @@ impl Cube {
     }
 
     /// The zero-generalization frequency set for the subset encoded by
-    /// `mask` (bit `j` ⇔ `qi()[j]` present).
-    pub fn frequency_set(&self, mask: u32) -> Option<&FrequencySet> {
+    /// `mask` (bit `j` ⇔ `qi()[j]` present), in whichever representation
+    /// the memory budget allowed at build time.
+    pub fn frequency_set(&self, mask: u32) -> Option<&FreqHandle> {
         self.freq.get(&mask)
     }
 
@@ -147,7 +161,7 @@ pub fn cube_incognito_traced(
     cfg: &Config,
     sink: &mut dyn FnMut(TraceEvent),
 ) -> Result<AnonymizationResult, AlgoError> {
-    let cube = Cube::build_with_threads(table, qi, cfg.k, cfg.threads)?;
+    let cube = Cube::build_with_config(table, qi, cfg)?;
     anonymize_with_cube(table, &cube, cfg, sink)
 }
 
@@ -189,7 +203,7 @@ mod tests {
             let direct = t
                 .frequency_set(&GroupSpec::ground(&attrs).unwrap())
                 .unwrap();
-            let cubed = cube.frequency_set(mask).unwrap();
+            let cubed = cube.frequency_set(mask).unwrap().as_mem().unwrap();
             assert_eq!(
                 cubed.to_labeled_rows(&schema),
                 direct.to_labeled_rows(&schema),

@@ -12,6 +12,7 @@ use incognito_hierarchy::LevelNo;
 use incognito_table::{GroupSpec, Table};
 
 use crate::error::validate_qi;
+use crate::provider::FreqProvider;
 use crate::{AlgoError, AnonymizationResult, Config, Generalization, IterationStats, SearchStats};
 
 /// Run Datafly. The result holds exactly one generalization; materialize it
@@ -33,6 +34,7 @@ pub fn datafly(table: &Table, qi: &[usize], cfg: &Config) -> Result<Anonymizatio
     let search_start = std::time::Instant::now();
     let mut stats = SearchStats::default();
     let mut it_stats = IterationStats { arity: qi.len(), ..IterationStats::default() };
+    let provider = FreqProvider::new(table, cfg);
 
     loop {
         let spec = GroupSpec::new(qi.iter().copied().zip(levels.iter().copied()).collect())?;
@@ -46,13 +48,13 @@ pub fn datafly(table: &Table, qi: &[usize], cfg: &Config) -> Result<Anonymizatio
             );
         }
         let t0 = std::time::Instant::now();
-        let freq = cfg.scan(table, &spec)?;
+        let freq = provider.scan(&spec, cfg.threads)?;
         stats.timings.scan += t0.elapsed();
         stats.freq_from_scan += 1;
         stats.table_scans += 1;
         it_stats.nodes_checked += 1;
 
-        let anonymous = freq.is_k_anonymous_with_suppression(cfg.k, allowance);
+        let anonymous = freq.is_k_anonymous_with_suppression(cfg.k, allowance)?;
         check_span.set_arg("anonymous", anonymous);
         if anonymous {
             break;

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use incognito_table::TableError;
+use incognito_table::{ExternalError, TableError};
 
 /// Errors raised by the anonymization algorithms.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,6 +13,11 @@ pub enum AlgoError {
     InvalidK(u64),
     /// An underlying table/frequency-set operation failed.
     Table(TableError),
+    /// The out-of-core spill path failed (IO error or corrupt spill file).
+    /// Carries the rendered [`ExternalError`] — `AlgoError` is `Clone + Eq`
+    /// for result comparison, which `std::io::Error` cannot satisfy
+    /// structurally.
+    Spill(String),
     /// No k-anonymous generalization exists even at the top of the lattice
     /// (only possible with a suppression threshold smaller than the number
     /// of tuples below k at full generalization).
@@ -28,6 +33,7 @@ impl fmt::Display for AlgoError {
             }
             AlgoError::InvalidK(k) => write!(f, "k must be >= 1, got {k}"),
             AlgoError::Table(e) => write!(f, "table error: {e}"),
+            AlgoError::Spill(msg) => write!(f, "spill error: {msg}"),
             AlgoError::NoSolution => {
                 write!(f, "no k-anonymous full-domain generalization exists under this budget")
             }
@@ -47,6 +53,17 @@ impl std::error::Error for AlgoError {
 impl From<TableError> for AlgoError {
     fn from(e: TableError) -> Self {
         AlgoError::Table(e)
+    }
+}
+
+impl From<ExternalError> for AlgoError {
+    fn from(e: ExternalError) -> Self {
+        match e {
+            // Keep structured table errors structured; only the IO-flavored
+            // cases degrade to the rendered form.
+            ExternalError::Table(t) => AlgoError::Table(t),
+            other => AlgoError::Spill(other.to_string()),
+        }
     }
 }
 

@@ -5,10 +5,11 @@ use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 use incognito_table::fxhash::FxHashMap;
-use incognito_table::{FrequencySet, GroupSpec, Schema, Table};
+use incognito_table::{GroupSpec, Schema, Table};
 use incognito_lattice::{generate_next, CandidateGraph, NodeId};
 
 use crate::error::validate_qi;
+use crate::provider::{FreqHandle, FreqProvider};
 use crate::trace::{CheckSource, TraceEvent};
 use crate::{AlgoError, AnonymizationResult, Config, Generalization, IterationStats, SearchStats};
 
@@ -53,7 +54,9 @@ pub fn incognito_traced(
 
 /// Zero-generalization frequency sets keyed by QI-position bitmask
 /// (bit `j` set ⇔ the `j`-th attribute of the sorted QI is present).
-pub(crate) type ZeroCube = FxHashMap<u32, FrequencySet>;
+/// Values are provider handles, so an over-budget cube build spills its
+/// subsets to disk like any other frequency set.
+pub(crate) type ZeroCube = FxHashMap<u32, FreqHandle>;
 
 /// An alternative source of frequency sets consulted before scanning the
 /// base table: Cube Incognito's zero-generalization cube, or a
@@ -75,11 +78,11 @@ pub(crate) enum AltSource<'a, 't> {
 /// (DESIGN.md §8).
 enum FreqPlan<'f> {
     /// Rollup from a cached direct specialization's frequency set.
-    Rollup { parent: &'f FrequencySet, target: Vec<u8> },
+    Rollup { parent: &'f FreqHandle, target: Vec<u8> },
     /// Rollup from the zero-generalization cube (Cube Incognito).
-    Cube { zero: &'f FrequencySet, target: Vec<u8> },
+    Cube { zero: &'f FreqHandle, target: Vec<u8> },
     /// Rollup from this root family's shared super-root frequency set.
-    SuperRoot { root: &'f FrequencySet, target: Vec<u8> },
+    SuperRoot { root: &'f FreqHandle, target: Vec<u8> },
     /// Scan the base table.
     Scan { spec: GroupSpec },
     /// Ask the materialized store. The store caches lazily (`&mut`), so
@@ -96,8 +99,8 @@ fn plan_freq<'f>(
     cfg: &Config,
     graph: &CandidateGraph,
     in_adj: &[Vec<NodeId>],
-    cache: &'f FxHashMap<NodeId, FrequencySet>,
-    superroot_freq: &'f FxHashMap<Vec<usize>, FrequencySet>,
+    cache: &'f FxHashMap<NodeId, FreqHandle>,
+    superroot_freq: &'f FxHashMap<Vec<usize>, FreqHandle>,
     cube: Option<&'f ZeroCube>,
     is_store: bool,
     qi_pos: &FxHashMap<usize, usize>,
@@ -128,7 +131,7 @@ fn plan_freq<'f>(
 /// computed concurrently, then applied to the search state serially in
 /// wave order.
 struct Checked {
-    freq: FrequencySet,
+    freq: FreqHandle,
     via: CheckSource,
     anonymous: bool,
     scan_time: Duration,
@@ -139,7 +142,7 @@ struct Checked {
 /// any pool worker; the `check` trace span opens on the executing thread,
 /// which is what makes multi-worker checks visible in Perfetto exports.
 fn eval_plan(
-    table: &Table,
+    provider: &FreqProvider<'_>,
     schema: &Schema,
     cfg: &Config,
     graph: &CandidateGraph,
@@ -156,35 +159,31 @@ fn eval_plan(
     let (freq, via) = match plan {
         FreqPlan::Rollup { parent, target } => {
             let t0 = Instant::now();
-            let f = parent.rollup(schema, target)?;
+            let f = provider.rollup(parent, schema, target)?;
             rollup_time = t0.elapsed();
             (f, CheckSource::Rollup)
         }
         FreqPlan::Cube { zero, target } => {
             let t0 = Instant::now();
-            let f = zero.rollup(schema, target)?;
+            let f = provider.rollup(zero, schema, target)?;
             rollup_time = t0.elapsed();
             (f, CheckSource::Cube)
         }
         FreqPlan::SuperRoot { root, target } => {
             let t0 = Instant::now();
-            let f = root.rollup(schema, target)?;
+            let f = provider.rollup(root, schema, target)?;
             rollup_time = t0.elapsed();
             (f, CheckSource::SuperRoot)
         }
         FreqPlan::Scan { spec } => {
             let t0 = Instant::now();
-            let f = if scan_threads > 1 {
-                table.frequency_set_parallel(spec, scan_threads)?
-            } else {
-                table.frequency_set(spec)?
-            };
+            let f = provider.scan(spec, scan_threads)?;
             scan_time = t0.elapsed();
             (f, CheckSource::TableScan)
         }
         FreqPlan::Store { .. } => unreachable!("store plans are evaluated serially"),
     };
-    let anonymous = cfg.passes(&freq);
+    let anonymous = cfg.passes_handle(&freq)?;
     check_span.set_arg("via", via.as_str());
     check_span.set_arg("anonymous", anonymous);
     Ok(Checked { freq, via, anonymous, scan_time, rollup_time })
@@ -210,7 +209,7 @@ fn eval_store(
     let via = CheckSource::Cube;
     check_span.set_arg("via", via.as_str());
     check_span.set_arg("anonymous", anonymous);
-    Ok(Checked { freq, via, anonymous, scan_time: Duration::ZERO, rollup_time })
+    Ok(Checked { freq: FreqHandle::Mem(freq), via, anonymous, scan_time: Duration::ZERO, rollup_time })
 }
 
 /// Incrementally tracked occupancy of the per-iteration frequency-set
@@ -229,14 +228,14 @@ struct CacheGauges {
 }
 
 impl CacheGauges {
-    fn on_insert(&mut self, freq: &FrequencySet) {
+    fn on_insert(&mut self, freq: &FreqHandle) {
         self.entries += 1;
         self.bytes += freq.resident_bytes() as i64;
         self.peak_entries = self.peak_entries.max(self.entries);
         self.peak_bytes = self.peak_bytes.max(self.bytes);
     }
 
-    fn on_evict(&mut self, freq: &FrequencySet) {
+    fn on_evict(&mut self, freq: &FreqHandle) {
         self.entries -= 1;
         self.bytes -= freq.resident_bytes() as i64;
         incognito_obs::incr("core.freq_cache.evictions");
@@ -287,6 +286,9 @@ pub(crate) fn incognito_impl(
     let mut stats = SearchStats::default();
     let mut graph = CandidateGraph::initial(&schema, &qi);
     let mut final_alive: Vec<bool> = Vec::new();
+    // Every frequency set the search touches comes through the provider,
+    // which spills to disk while the process is over the memory budget.
+    let provider = FreqProvider::new(table, cfg);
 
     // Shared work-stealing pool for wave-parallel node checks and family
     // scans. `None` (threads == 1) keeps the engine on the strictly serial
@@ -335,7 +337,7 @@ pub(crate) fn incognito_impl(
         // paper's prose says "least upper bound" but its example computes
         // ⟨B0,S0,Z0⟩ from the three roots of Figure 7(a) — the component-
         // wise minimum — which is what rolling *up* to each root requires.)
-        let mut superroot_freq: FxHashMap<Vec<usize>, FrequencySet> = FxHashMap::default();
+        let mut superroot_freq: FxHashMap<Vec<usize>, FreqHandle> = FxHashMap::default();
         if cfg.superroots && matches!(alt, AltSource::None) {
             let roots = graph.roots();
             let mut fams: std::collections::BTreeMap<Vec<usize>, Vec<NodeId>> =
@@ -349,7 +351,7 @@ pub(crate) fn incognito_impl(
                 fams.into_iter().filter(|(_, fam_roots)| fam_roots.len() >= 2).collect();
             let scan_family = |fam_roots: &[NodeId],
                                scan_threads: usize|
-             -> Result<(FrequencySet, Duration), AlgoError> {
+             -> Result<(FreqHandle, Duration), AlgoError> {
                 let glb = graph.family_glb(fam_roots).expect("same family");
                 let mut sr_span = incognito_obs::trace::span("superroot.scan")
                     .arg("roots", fam_roots.len() as u64);
@@ -357,14 +359,10 @@ pub(crate) fn incognito_impl(
                     sr_span.set_arg("glb", crate::trace::spec_label(&glb.parts));
                 }
                 let scan_start = Instant::now();
-                let freq = if scan_threads > 1 {
-                    table.frequency_set_parallel(&glb.to_group_spec()?, scan_threads)?
-                } else {
-                    table.frequency_set(&glb.to_group_spec()?)?
-                };
+                let freq = provider.scan(&glb.to_group_spec()?, scan_threads)?;
                 Ok((freq, scan_start.elapsed()))
             };
-            let scanned: Vec<Result<(FrequencySet, Duration), AlgoError>> = match &pool {
+            let scanned: Vec<Result<(FreqHandle, Duration), AlgoError>> = match &pool {
                 // One task per family; each family's scan stays serial —
                 // the parallelism is across families. A lone family gets
                 // the row-parallel scan instead.
@@ -387,14 +385,14 @@ pub(crate) fn incognito_impl(
                 );
                 incognito_obs::gauge_set(
                     "core.superroot.bytes",
-                    superroot_freq.values().map(FrequencySet::resident_bytes).sum::<u64>() as i64,
+                    superroot_freq.values().map(FreqHandle::resident_bytes).sum::<u64>() as i64,
                 );
             }
         }
 
         // Frequency-set cache keyed by node id, evicted once every direct
         // generalization of the node has had its status determined.
-        let mut cache: FxHashMap<NodeId, FrequencySet> = FxHashMap::default();
+        let mut cache: FxHashMap<NodeId, FreqHandle> = FxHashMap::default();
         let mut cache_gauges = CacheGauges::default();
         let mut pending_out: Vec<u32> =
             (0..num).map(|id| graph.direct_generalizations(id as NodeId).len() as u32).collect();
@@ -415,7 +413,7 @@ pub(crate) fn incognito_impl(
                          processed: &[bool],
                          determined: &mut [bool],
                          pending_out: &mut [u32],
-                         cache: &mut FxHashMap<NodeId, FrequencySet>,
+                         cache: &mut FxHashMap<NodeId, FreqHandle>,
                          cache_gauges: &mut CacheGauges,
                          it_stats: &mut IterationStats,
                          sink: &mut dyn FnMut(TraceEvent)| {
@@ -510,7 +508,7 @@ pub(crate) fn incognito_impl(
                 match &pool {
                     Some(pool) if pending.len() > 1 => {
                         let outs = pool.parallel_map(&pending, |_, &i| {
-                            eval_plan(table, &schema, cfg, &graph, wave[i], &plans[i], scan_threads)
+                            eval_plan(&provider, &schema, cfg, &graph, wave[i], &plans[i], scan_threads)
                         });
                         for (&i, out) in pending.iter().zip(outs) {
                             results[i] = Some(out);
@@ -519,7 +517,7 @@ pub(crate) fn incognito_impl(
                     _ => {
                         for &i in &pending {
                             results[i] = Some(eval_plan(
-                                table,
+                                &provider,
                                 &schema,
                                 cfg,
                                 &graph,

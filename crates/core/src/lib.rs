@@ -40,6 +40,7 @@ pub mod explain;
 pub mod incognito;
 pub mod materialize;
 pub mod muargus;
+pub mod provider;
 mod result;
 mod stats;
 #[cfg(test)]
@@ -50,6 +51,7 @@ pub mod verify;
 pub use error::AlgoError;
 pub use explain::{render_dot, ExplainPlan};
 pub use incognito::incognito;
+pub use provider::{FreqHandle, FreqProvider};
 pub use result::{AnonymizationResult, Generalization};
 pub use stats::{IterationStats, PhaseTimings, SearchStats};
 
@@ -77,6 +79,14 @@ pub struct Config {
     /// split by row. The result set and every counter are identical to a
     /// serial run (DESIGN.md §8).
     pub threads: usize,
+    /// Memory budget in bytes, or `None` for unlimited. While the
+    /// process's live bytes (from `incognito_obs::mem`) exceed the budget,
+    /// every frequency set the engines request through [`FreqProvider`]
+    /// degrades to the disk-backed
+    /// [`incognito_table::ExternalFrequencySet`] — the paper's §7
+    /// out-of-core case. Results are byte-identical at every budget; only
+    /// the representation (and peak memory) changes.
+    pub memory_budget: Option<u64>,
 }
 
 impl Config {
@@ -91,6 +101,7 @@ impl Config {
             superroots: false,
             rollup: true,
             threads: Self::default_threads(),
+            memory_budget: Self::default_memory_budget(),
         }
     }
 
@@ -138,16 +149,39 @@ impl Config {
         self
     }
 
-    /// Scan `table` for a frequency set honoring the thread setting.
-    pub(crate) fn scan(
-        &self,
-        table: &incognito_table::Table,
-        spec: &incognito_table::GroupSpec,
-    ) -> Result<incognito_table::FrequencySet, incognito_table::TableError> {
-        if self.threads > 1 {
-            table.frequency_set_parallel(spec, self.threads)
+    /// The process-wide default memory budget: `INCOGNITO_MEM_BUDGET`
+    /// (bytes) when set to a non-negative integer, else unlimited. Read
+    /// once and cached, like [`Config::default_threads`].
+    pub fn default_memory_budget() -> Option<u64> {
+        static DEFAULT: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+        *DEFAULT.get_or_init(|| {
+            std::env::var("INCOGNITO_MEM_BUDGET")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        })
+    }
+
+    /// Cap live bytes: frequency sets spill to disk while the process is
+    /// over `bytes` (see [`Config::memory_budget`]).
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Remove any memory budget (including one inherited from
+    /// `INCOGNITO_MEM_BUDGET`): every frequency set stays in memory.
+    pub fn with_unlimited_memory(mut self) -> Self {
+        self.memory_budget = None;
+        self
+    }
+
+    /// The k-anonymity predicate on a provider handle — in-memory or
+    /// spilled — including the suppression allowance.
+    pub(crate) fn passes_handle(&self, freq: &provider::FreqHandle) -> Result<bool, AlgoError> {
+        if self.max_suppress == 0 {
+            freq.is_k_anonymous(self.k)
         } else {
-            table.frequency_set(spec)
+            freq.is_k_anonymous_with_suppression(self.k, self.max_suppress)
         }
     }
 

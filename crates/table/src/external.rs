@@ -5,21 +5,35 @@
 //! main memory."*
 //!
 //! [`ExternalFrequencySet`] computes a frequency set with bounded memory:
-//! the scan hash-partitions group keys to disk (Grace-hash style), and
-//! every query — the k-anonymity predicate, group counts, suppression
-//! tallies — streams one partition at a time, so peak memory is the
-//! largest partition's distinct-group footprint rather than the whole
-//! frequency set. `into_frequency_set` upgrades to the in-memory
-//! representation when it does fit.
+//! the scan hash-partitions `(group key, count)` records to disk
+//! (Grace-hash style), and every query — the k-anonymity predicate, group
+//! counts, suppression tallies — streams one partition at a time, so peak
+//! memory is the largest partition's distinct-group footprint rather than
+//! the whole frequency set. [`ExternalFrequencySet::rollup`] and
+//! [`ExternalFrequencySet::project`] derive child sets partition by
+//! partition (the paper's Rollup and Subset properties, §3), so the key
+//! optimizations survive out-of-core instead of falling back to base-table
+//! rescans. `into_frequency_set` upgrades to the in-memory representation
+//! when it does fit.
+//!
+//! Spill activity is observable: the cumulative gauges
+//! `table.spill.{partitions,bytes,spilled_sets,upgrades}` and the
+//! `spill.build` / `spill.rollup` / `spill.project` / `spill.upgrade`
+//! trace spans record every trip through the disk path. None of them are
+//! touched unless spilling actually happens, so in-memory runs stay
+//! byte-identical to historical baselines.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-use incognito_hierarchy::ValueId;
+use incognito_hierarchy::{LevelNo, ValueId};
 
 use crate::freq::{GroupKey, GroupSpec};
 use crate::fxhash::{FxBuildHasher, FxHashMap};
+use crate::schema::Schema;
 use crate::table::Table;
 use crate::{FrequencySet, TableError};
 
@@ -63,10 +77,123 @@ impl From<std::io::Error> for ExternalError {
     }
 }
 
+/// Hard cap on spill partitions per set.
+const MAX_PARTITIONS: usize = 4096;
+
+/// Total write-buffer budget shared by all partitions of one build; each
+/// partition flushes (open-append-close, so at most one spill FD is ever
+/// open at a time) once its share fills up. This bounds the build's
+/// in-flight memory independently of the row count — the point of
+/// spilling — while keeping flushes large enough to amortize the
+/// open/close (8 KiB at the default 64-partition fan-out).
+const WRITE_BUFFER_BYTES: usize = 512 << 10;
+
+/// Floor on the per-partition buffer share, so very wide partition counts
+/// still amortize the open/close per flush over a few records.
+const MIN_BUFFER_BYTES: usize = 256;
+
+/// Monotonic suffix for spill-directory names. `SystemTime` alone is not
+/// unique: two builds in one process on a coarse clock (or any pre-epoch
+/// clock, which `unwrap_or(0)` pinned to the same suffix) would share a
+/// directory, interleave partition writes, and the first `Drop` would
+/// delete the survivor's live spill files.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Create a directory under `spill_root` that no other
+/// `ExternalFrequencySet` in this process can share. `create_dir` (not
+/// `create_dir_all`) makes an unexpected survivor — e.g. a stale dir from
+/// a crashed run recycled onto the same pid — an `AlreadyExists` error we
+/// skip past instead of a silent collision.
+fn fresh_spill_dir(spill_root: &Path) -> Result<PathBuf, ExternalError> {
+    std::fs::create_dir_all(spill_root)?;
+    let pid = std::process::id();
+    loop {
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = spill_root.join(format!("incognito-spill-{pid}-{seq}"));
+        match std::fs::create_dir(&dir) {
+            Ok(()) => return Ok(dir),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Bounded-FD partition writers: records accumulate in per-partition
+/// memory buffers and are flushed by open-append-close, so the build never
+/// holds more than one spill file descriptor open regardless of the
+/// partition count (the old design opened up to 4096 `BufWriter<File>`s
+/// simultaneously — above the common 1024 ulimit).
+struct PartitionWriters<'p> {
+    paths: &'p [PathBuf],
+    bufs: Vec<Vec<u8>>,
+    written: Vec<u64>,
+    threshold: usize,
+}
+
+impl<'p> PartitionWriters<'p> {
+    fn new(paths: &'p [PathBuf]) -> Self {
+        let threshold = (WRITE_BUFFER_BYTES / paths.len().max(1)).max(MIN_BUFFER_BYTES);
+        PartitionWriters {
+            paths,
+            bufs: vec![Vec::new(); paths.len()],
+            written: vec![0; paths.len()],
+            threshold,
+        }
+    }
+
+    fn write(&mut self, part: usize, record: &[u8]) -> Result<(), ExternalError> {
+        self.bufs[part].extend_from_slice(record);
+        if self.bufs[part].len() >= self.threshold {
+            self.flush_one(part)?;
+        }
+        Ok(())
+    }
+
+    fn flush_one(&mut self, part: usize) -> Result<(), ExternalError> {
+        let mut file = OpenOptions::new().create(true).append(true).open(&self.paths[part])?;
+        file.write_all(&self.bufs[part])?;
+        self.written[part] += self.bufs[part].len() as u64;
+        self.bufs[part].clear();
+        Ok(())
+    }
+
+    /// Flush every buffer (creating empty files for partitions that never
+    /// received a record, so readers can treat all paths uniformly) and
+    /// return the exact byte length written to each partition.
+    fn finish(mut self) -> Result<Vec<u64>, ExternalError> {
+        for part in 0..self.paths.len() {
+            self.flush_one(part)?;
+        }
+        Ok(self.written)
+    }
+}
+
+/// Serialize one `(key, count)` record into `buf`.
+fn push_record(buf: &mut Vec<u8>, key: &GroupKey, count: u64) {
+    buf.clear();
+    for &v in key.as_slice() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.extend_from_slice(&count.to_le_bytes());
+}
+
 /// A frequency set whose groups live in disk partitions.
+///
+/// Each partition file is a sequence of fixed-width records: `arity`
+/// little-endian `u32` key components followed by a little-endian `u64`
+/// count. A record's partition is its key's hash modulo the partition
+/// count, so all records for one group land in the same partition and
+/// streaming queries can aggregate one partition at a time.
 pub struct ExternalFrequencySet {
     spec: GroupSpec,
     partitions: Vec<PathBuf>,
+    /// Exact byte length written to each partition at build time. Any
+    /// later mismatch — including truncation at a record boundary, which
+    /// a divisibility check alone cannot see — is corruption.
+    expected: Vec<u64>,
+    /// Once a partition's on-disk length has been validated against
+    /// `expected`, the check is not repeated (no re-`stat` per query).
+    checked: Vec<OnceLock<()>>,
     arity: usize,
     total: u64,
     /// Owned spill directory, removed on drop.
@@ -74,9 +201,9 @@ pub struct ExternalFrequencySet {
 }
 
 impl ExternalFrequencySet {
-    /// Compute the frequency set of `table` w.r.t. `spec`, spilling keys
-    /// into `num_partitions` files under a fresh subdirectory of
-    /// `spill_root`.
+    /// Compute the frequency set of `table` w.r.t. `spec`, spilling
+    /// `(key, count)` records into `num_partitions` files under a fresh
+    /// subdirectory of `spill_root`.
     pub fn build(
         table: &Table,
         spec: &GroupSpec,
@@ -84,16 +211,11 @@ impl ExternalFrequencySet {
         spill_root: &Path,
     ) -> Result<ExternalFrequencySet, ExternalError> {
         spec.validate(table.schema())?;
-        let num_partitions = num_partitions.clamp(1, 4096);
-        let dir = spill_root.join(format!(
-            "incognito-spill-{}-{}",
-            std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_nanos())
-                .unwrap_or(0)
-        ));
-        std::fs::create_dir_all(&dir)?;
+        let num_partitions = num_partitions.clamp(1, MAX_PARTITIONS);
+        let dir = fresh_spill_dir(spill_root)?;
+        let mut span = incognito_obs::trace::span("spill.build")
+            .arg("rows", table.num_rows() as u64)
+            .arg("partitions", num_partitions as u64);
 
         let schema = table.schema();
         let maps: Vec<&[ValueId]> = spec
@@ -106,42 +228,40 @@ impl ExternalFrequencySet {
 
         let partitions: Vec<PathBuf> =
             (0..num_partitions).map(|p| dir.join(format!("part-{p}.bin"))).collect();
-        let mut writers: Vec<BufWriter<File>> = partitions
-            .iter()
-            .map(|p| {
-                OpenOptions::new()
-                    .create(true)
-                    .truncate(true)
-                    .write(true)
-                    .open(p)
-                    .map(BufWriter::new)
-            })
-            .collect::<Result<_, _>>()?;
+        let write_all = || -> Result<Vec<u64>, ExternalError> {
+            use std::hash::BuildHasher;
+            let hasher = FxBuildHasher::default();
+            let mut writers = PartitionWriters::new(&partitions);
+            let mut buf = Vec::with_capacity(arity * 4 + 8);
+            for row in 0..table.num_rows() {
+                let mut key = GroupKey::default();
+                for (col, map) in cols.iter().zip(&maps) {
+                    key.push(map[col[row] as usize]);
+                }
+                let part = (hasher.hash_one(key) % num_partitions as u64) as usize;
+                push_record(&mut buf, &key, 1);
+                writers.write(part, &buf)?;
+            }
+            writers.finish()
+        };
+        let expected = match write_all() {
+            Ok(e) => e,
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(e);
+            }
+        };
 
-        use std::hash::BuildHasher;
-        let hasher = FxBuildHasher::default();
-        let nrows = table.num_rows();
-        let mut buf = Vec::with_capacity(arity * 4);
-        for row in 0..nrows {
-            let mut key = GroupKey::default();
-            for (col, map) in cols.iter().zip(&maps) {
-                key.push(map[col[row] as usize]);
-            }
-            let part = (hasher.hash_one(key) % num_partitions as u64) as usize;
-            buf.clear();
-            for &v in key.as_slice() {
-                buf.extend_from_slice(&v.to_le_bytes());
-            }
-            writers[part].write_all(&buf)?;
-        }
-        for mut w in writers {
-            w.flush()?;
-        }
+        let bytes: u64 = expected.iter().sum();
+        record_spill(num_partitions, bytes);
+        span.set_arg("bytes", bytes);
         Ok(ExternalFrequencySet {
             spec: spec.clone(),
+            checked: (0..num_partitions).map(|_| OnceLock::new()).collect(),
             partitions,
+            expected,
             arity,
-            total: nrows as u64,
+            total: table.num_rows() as u64,
             dir,
         })
     }
@@ -161,31 +281,59 @@ impl ExternalFrequencySet {
         self.partitions.len()
     }
 
+    /// On-disk footprint of the spilled record files, in bytes.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.expected.iter().sum()
+    }
+
+    /// Bytes per `(key, count)` record.
+    fn record_len(&self) -> usize {
+        self.arity * 4 + 8
+    }
+
+    /// Check the partition file's length against the exact byte count the
+    /// build wrote, once; later queries reuse the verdict instead of
+    /// re-`stat`ing. Runs *before* any aggregation so a truncated file is
+    /// an error on the first query, not a silently shortened count.
+    fn validate_partition(&self, idx: usize) -> Result<(), ExternalError> {
+        if self.checked[idx].get().is_some() {
+            return Ok(());
+        }
+        let path = &self.partitions[idx];
+        let len = std::fs::metadata(path)?.len();
+        if len != self.expected[idx] {
+            return Err(ExternalError::Corrupt { partition: path.clone() });
+        }
+        let _ = self.checked[idx].set(());
+        Ok(())
+    }
+
     /// Aggregate one partition into an in-memory map (the memory high-water
     /// mark of every streaming query).
     fn aggregate_partition(&self, idx: usize) -> Result<FxHashMap<GroupKey, u64>, ExternalError> {
+        self.validate_partition(idx)?;
         let path = &self.partitions[idx];
+        let record = self.record_len();
+        let n_records = (self.expected[idx] / record as u64) as usize;
         let mut reader = BufReader::new(File::open(path)?);
-        let record = self.arity * 4;
         let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
-        let mut buf = vec![0u8; record.max(1)];
-        loop {
-            match reader.read_exact(&mut buf) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-                Err(e) => return Err(e.into()),
-            }
+        let mut buf = vec![0u8; record];
+        for _ in 0..n_records {
+            reader.read_exact(&mut buf).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    // The file shrank between validation and the read.
+                    ExternalError::Corrupt { partition: path.clone() }
+                } else {
+                    ExternalError::Io(e)
+                }
+            })?;
+            let (key_bytes, count_bytes) = buf.split_at(self.arity * 4);
             let mut key = GroupKey::default();
-            for c in buf.chunks_exact(4) {
+            for c in key_bytes.chunks_exact(4) {
                 key.push(u32::from_le_bytes(c.try_into().expect("4-byte chunk")));
             }
-            *counts.entry(key).or_insert(0) += 1;
-        }
-        // Every record is whole by construction; a trailing fragment means
-        // corruption.
-        let len = std::fs::metadata(path)?.len();
-        if record > 0 && len % record as u64 != 0 {
-            return Err(ExternalError::Corrupt { partition: path.clone() });
+            let count = u64::from_le_bytes(count_bytes.try_into().expect("8-byte count"));
+            *counts.entry(key).or_insert(0) += count;
         }
         Ok(counts)
     }
@@ -232,17 +380,175 @@ impl ExternalFrequencySet {
         self.fold_groups(0u64, |acc, _, c| if c < k { acc + c } else { acc })
     }
 
+    /// K-anonymity modulo suppression: at most `max_suppress` tuples sit
+    /// in groups smaller than `k` (matches
+    /// [`FrequencySet::is_k_anonymous_with_suppression`]).
+    pub fn is_k_anonymous_with_suppression(
+        &self,
+        k: u64,
+        max_suppress: u64,
+    ) -> Result<bool, ExternalError> {
+        Ok(self.tuples_below(k)? <= max_suppress)
+    }
+
+    /// Derive a child set from `(key, count)` records without touching the
+    /// base table: aggregate each parent partition in memory, transform
+    /// every key through `map_key`, and re-route the transformed records
+    /// to the child partition its hash selects. One parent partition's
+    /// groups are resident at a time, so memory stays bounded while the
+    /// Rollup/Subset optimizations survive out-of-core.
+    fn derive(
+        &self,
+        spec: GroupSpec,
+        spill_root: &Path,
+        mut map_key: impl FnMut(&GroupKey) -> GroupKey,
+    ) -> Result<ExternalFrequencySet, ExternalError> {
+        use std::hash::BuildHasher;
+        let num_partitions = self.partitions.len();
+        let dir = fresh_spill_dir(spill_root)?;
+        let partitions: Vec<PathBuf> =
+            (0..num_partitions).map(|p| dir.join(format!("part-{p}.bin"))).collect();
+        let mut write_all = || -> Result<Vec<u64>, ExternalError> {
+            let hasher = FxBuildHasher::default();
+            let mut writers = PartitionWriters::new(&partitions);
+            let mut buf = Vec::with_capacity(spec.len() * 4 + 8);
+            for idx in 0..num_partitions {
+                for (key, count) in self.aggregate_partition(idx)? {
+                    let child = map_key(&key);
+                    let part = (hasher.hash_one(child) % num_partitions as u64) as usize;
+                    push_record(&mut buf, &child, count);
+                    writers.write(part, &buf)?;
+                }
+            }
+            writers.finish()
+        };
+        let expected = match write_all() {
+            Ok(e) => e,
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(e);
+            }
+        };
+        let bytes: u64 = expected.iter().sum();
+        record_spill(num_partitions, bytes);
+        let arity = spec.len();
+        Ok(ExternalFrequencySet {
+            spec,
+            checked: (0..num_partitions).map(|_| OnceLock::new()).collect(),
+            partitions,
+            expected,
+            arity,
+            total: self.total,
+            dir,
+        })
+    }
+
+    /// The Rollup Property (§3), out-of-core: generalize this set to
+    /// `target` levels by mapping each key component up its hierarchy and
+    /// re-summing, partition by partition. Mirrors
+    /// [`FrequencySet::rollup`]; `target[i]` must be ≥ the current level
+    /// of the i-th grouped attribute.
+    pub fn rollup(
+        &self,
+        schema: &Schema,
+        target: &[LevelNo],
+        spill_root: &Path,
+    ) -> Result<ExternalFrequencySet, ExternalError> {
+        if target.len() != self.spec.len() {
+            return Err(TableError::IncompatibleSpec(format!(
+                "rollup target has {} levels for {} grouped attributes",
+                target.len(),
+                self.spec.len()
+            ))
+            .into());
+        }
+        let mut maps: Vec<&[ValueId]> = Vec::with_capacity(target.len());
+        let mut parts = Vec::with_capacity(target.len());
+        for (&(a, from), &to) in self.spec.parts().iter().zip(target) {
+            let h = schema.hierarchy(a);
+            if to < from {
+                return Err(TableError::IncompatibleSpec(format!(
+                    "cannot roll attribute {a} down from level {from} to {to}"
+                ))
+                .into());
+            }
+            let m = h.between_map(from, to).map_err(|_| TableError::LevelOutOfRange {
+                attribute: schema.attribute(a).name().to_string(),
+                level: to,
+                height: h.height(),
+            })?;
+            maps.push(m);
+            parts.push((a, to));
+        }
+        let spec = GroupSpec::new(parts)?;
+        let mut span = incognito_obs::trace::span("spill.rollup")
+            .arg("partitions", self.partitions.len() as u64);
+        let child = self.derive(spec, spill_root, |key| {
+            let mut out = GroupKey::default();
+            for (&v, map) in key.as_slice().iter().zip(&maps) {
+                out.push(map[v as usize]);
+            }
+            out
+        })?;
+        span.set_arg("bytes", child.spilled_bytes());
+        Ok(child)
+    }
+
+    /// The Subset Property (§3.3.2), out-of-core: keep only the key
+    /// positions in `keep` (indices into this set's parts, in output
+    /// order) and re-sum. Mirrors [`FrequencySet::project`].
+    pub fn project(
+        &self,
+        keep: &[usize],
+        spill_root: &Path,
+    ) -> Result<ExternalFrequencySet, ExternalError> {
+        let mut parts = Vec::with_capacity(keep.len());
+        for &i in keep {
+            let Some(&part) = self.spec.parts().get(i) else {
+                return Err(TableError::IncompatibleSpec(format!(
+                    "project position {i} out of range for {} grouped attributes",
+                    self.spec.len()
+                ))
+                .into());
+            };
+            parts.push(part);
+        }
+        let spec = GroupSpec::new(parts)?;
+        let mut span = incognito_obs::trace::span("spill.project")
+            .arg("partitions", self.partitions.len() as u64);
+        let child = self.derive(spec, spill_root, |key| {
+            let slice = key.as_slice();
+            let mut out = GroupKey::default();
+            for &i in keep {
+                out.push(slice[i]);
+            }
+            out
+        })?;
+        span.set_arg("bytes", child.spilled_bytes());
+        Ok(child)
+    }
+
     /// Upgrade to the in-memory representation (requires the whole set to
     /// fit, of course).
     pub fn into_frequency_set(self) -> Result<FrequencySet, ExternalError> {
+        let _span = incognito_obs::trace::span("spill.upgrade")
+            .arg("partitions", self.partitions.len() as u64);
         let mut counts: FxHashMap<GroupKey, u64> = FxHashMap::default();
         for idx in 0..self.partitions.len() {
             for (k, c) in self.aggregate_partition(idx)? {
                 *counts.entry(k).or_insert(0) += c;
             }
         }
+        incognito_obs::gauge_add("table.spill.upgrades", 1);
         Ok(FrequencySet::from_parts(self.spec.clone(), counts, self.total))
     }
+}
+
+/// Roll the cumulative spill gauges forward by one spilled set.
+fn record_spill(num_partitions: usize, bytes: u64) {
+    incognito_obs::gauge_add("table.spill.spilled_sets", 1);
+    incognito_obs::gauge_add("table.spill.partitions", num_partitions as i64);
+    incognito_obs::gauge_add("table.spill.bytes", bytes as i64);
 }
 
 impl Drop for ExternalFrequencySet {
@@ -293,6 +599,11 @@ mod tests {
             for k in [1u64, 100, 500, 5_000] {
                 assert_eq!(ext.is_k_anonymous(k).unwrap(), mem.is_k_anonymous(k), "k={k}");
                 assert_eq!(ext.tuples_below(k).unwrap(), mem.tuples_below(k), "k={k}");
+                assert_eq!(
+                    ext.is_k_anonymous_with_suppression(k, 10).unwrap(),
+                    mem.is_k_anonymous_with_suppression(k, 10),
+                    "k={k}"
+                );
             }
             let upgraded = ext.into_frequency_set().unwrap();
             assert_eq!(
@@ -333,5 +644,160 @@ mod tests {
             assert!(dir.exists());
         }
         assert!(!dir.exists(), "drop must remove the spill directory");
+    }
+
+    /// Regression (spill-directory collision): two same-process builds —
+    /// necessarily faster than the coarsest clock tick apart, and
+    /// previously distinguishable only by `SystemTime` nanos — must land
+    /// in distinct directories, and dropping the first must not delete
+    /// the second's live spill files.
+    #[test]
+    fn concurrent_builds_use_distinct_directories() {
+        let t = big_table(500);
+        let spec = GroupSpec::ground(&[0, 1]).unwrap();
+        let expected_groups = t.frequency_set(&spec).unwrap().num_groups();
+
+        let builds: Vec<ExternalFrequencySet> = (0..8)
+            .map(|_| ExternalFrequencySet::build(&t, &spec, 4, &spill_root()).unwrap())
+            .collect();
+        for (i, a) in builds.iter().enumerate() {
+            for b in &builds[i + 1..] {
+                assert_ne!(a.dir, b.dir, "two builds shared a spill directory");
+            }
+        }
+
+        let survivor = ExternalFrequencySet::build(&t, &spec, 4, &spill_root()).unwrap();
+        drop(builds);
+        // Pre-fix, a same-tick sibling's Drop removed this set's files.
+        assert_eq!(survivor.num_groups().unwrap(), expected_groups);
+        assert!(survivor.dir.exists());
+    }
+
+    /// Regression (FD exhaustion): a build with 2048 partitions writing
+    /// real rows must not hold thousands of file descriptors open at once
+    /// (the old code opened one `BufWriter<File>` per partition up front,
+    /// above the common 1024 ulimit).
+    #[test]
+    fn many_partitions_stay_under_fd_limits() {
+        let t = big_table(5_000);
+        let spec = GroupSpec::ground(&[0, 1]).unwrap();
+        let mem = t.frequency_set(&spec).unwrap();
+        let ext = ExternalFrequencySet::build(&t, &spec, 2048, &spill_root()).unwrap();
+        assert_eq!(ext.num_partitions(), 2048);
+        assert_eq!(ext.num_groups().unwrap(), mem.num_groups());
+        assert_eq!(ext.min_count().unwrap(), mem.min_count());
+        assert_eq!(ext.tuples_below(300).unwrap(), mem.tuples_below(300));
+    }
+
+    /// Regression (torn-record detection): truncating a partition —
+    /// mid-record *or* at an exact record boundary — must surface as
+    /// `Corrupt` on the next query instead of silently shrinking the
+    /// counts. The boundary case is what the old after-the-fact
+    /// `len % record == 0` check could never see.
+    #[test]
+    fn truncated_partition_is_detected_before_aggregation() {
+        let t = big_table(1_000);
+        let spec = GroupSpec::ground(&[0, 1]).unwrap();
+        let record = spec.len() * 4 + 8;
+
+        // Mid-record truncation.
+        let ext = ExternalFrequencySet::build(&t, &spec, 1, &spill_root()).unwrap();
+        let path = ext.partitions[0].clone();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+        assert!(matches!(
+            ext.num_groups(),
+            Err(ExternalError::Corrupt { .. })
+        ));
+
+        // Record-boundary truncation: the file length stays divisible by
+        // the record width, so only the cached expected length catches it.
+        let ext = ExternalFrequencySet::build(&t, &spec, 1, &spill_root()).unwrap();
+        let path = ext.partitions[0].clone();
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(len % record as u64, 0);
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - record as u64).unwrap();
+        drop(file);
+        assert!(
+            matches!(ext.tuples_below(100), Err(ExternalError::Corrupt { .. })),
+            "boundary truncation must not silently drop a record"
+        );
+    }
+
+    /// The validated length is cached: once a partition has been checked,
+    /// queries stop re-`stat`ing it and keep working.
+    #[test]
+    fn validation_verdict_is_cached() {
+        let t = big_table(1_000);
+        let spec = GroupSpec::ground(&[0, 1]).unwrap();
+        let ext = ExternalFrequencySet::build(&t, &spec, 3, &spill_root()).unwrap();
+        let groups = ext.num_groups().unwrap();
+        for idx in 0..ext.num_partitions() {
+            assert!(ext.checked[idx].get().is_some(), "partition {idx} not cached");
+        }
+        assert_eq!(ext.num_groups().unwrap(), groups);
+    }
+
+    #[test]
+    fn external_rollup_matches_in_memory_rollup() {
+        let t = big_table(4_000);
+        let spec = GroupSpec::ground(&[0, 1]).unwrap();
+        let mem = t.frequency_set(&spec).unwrap();
+        let ext = ExternalFrequencySet::build(&t, &spec, 8, &spill_root()).unwrap();
+        for target in [[0u8, 1], [1, 0], [1, 2], [0, 2]] {
+            let mem_r = mem.rollup(t.schema(), &target).unwrap();
+            let ext_r = ext.rollup(t.schema(), &target, &spill_root()).unwrap();
+            assert_eq!(ext_r.total(), mem_r.total());
+            assert_eq!(ext_r.num_groups().unwrap(), mem_r.num_groups());
+            assert_eq!(
+                ext_r.into_frequency_set().unwrap().to_labeled_rows(t.schema()),
+                mem_r.to_labeled_rows(t.schema()),
+                "target={target:?}"
+            );
+        }
+        // Rollup of a rollup (the chained lattice-walk case).
+        let ext_r = ext.rollup(t.schema(), &[1, 1], &spill_root()).unwrap();
+        let ext_rr = ext_r.rollup(t.schema(), &[1, 2], &spill_root()).unwrap();
+        let mem_rr = mem.rollup(t.schema(), &[1, 2]).unwrap();
+        assert_eq!(
+            ext_rr.into_frequency_set().unwrap().to_labeled_rows(t.schema()),
+            mem_rr.to_labeled_rows(t.schema())
+        );
+    }
+
+    #[test]
+    fn external_project_matches_in_memory_project() {
+        let t = big_table(4_000);
+        let spec = GroupSpec::ground(&[0, 1]).unwrap();
+        let mem = t.frequency_set(&spec).unwrap();
+        let ext = ExternalFrequencySet::build(&t, &spec, 8, &spill_root()).unwrap();
+        for keep in [vec![0usize], vec![1], vec![0, 1]] {
+            let mem_p = mem.project(&keep).unwrap();
+            let ext_p = ext.project(&keep, &spill_root()).unwrap();
+            assert_eq!(ext_p.total(), mem_p.total());
+            assert_eq!(
+                ext_p.into_frequency_set().unwrap().to_labeled_rows(t.schema()),
+                mem_p.to_labeled_rows(t.schema()),
+                "keep={keep:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rollup_rejects_bad_targets() {
+        let t = big_table(100);
+        let spec = GroupSpec::ground(&[0, 1]).unwrap();
+        let ext = ExternalFrequencySet::build(&t, &spec, 2, &spill_root()).unwrap();
+        assert!(matches!(
+            ext.rollup(t.schema(), &[1], &spill_root()),
+            Err(ExternalError::Table(_))
+        ));
+        assert!(matches!(
+            ext.project(&[5], &spill_root()),
+            Err(ExternalError::Table(_))
+        ));
     }
 }

@@ -133,6 +133,40 @@ else
   echo "OK: memory sections present (python3 unavailable; grep check)"
 fi
 
+# Spill accounting: every freshly generated report must carry the
+# out-of-core section (the `table.spill.*` gauges) so budgeted and
+# unbudgeted runs are distinguishable. Scoped to results/BENCH_*.json —
+# the committed baseline predates the section and the gate only compares
+# metrics present on both sides.
+if command -v python3 >/dev/null 2>&1; then
+  for f in results/BENCH_*.json; do
+    [ -e "$f" ] || continue
+    python3 - "$f" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+spill = doc.get("spill")
+assert spill is not None, "report has no top-level spill section"
+for key in ("spilled_sets", "partitions", "bytes", "upgrades"):
+    assert key in spill, f"spill section missing {key!r}"
+    assert spill[key] >= 0, f"negative spill gauge {key!r}"
+if spill["spilled_sets"] > 0:
+    assert spill["partitions"] > 0, "spilled sets but no partitions"
+    assert spill["bytes"] > 0, "spilled sets but no bytes"
+print(f"OK: {sys.argv[1]} spill section valid")
+PY
+  done
+else
+  for f in results/BENCH_*.json; do
+    [ -e "$f" ] || continue
+    grep -q '"spill"' "$f" || {
+      echo "FAIL: $f lacks the spill section" >&2
+      exit 1
+    }
+  done
+  echo "OK: spill sections present (python3 unavailable; grep check)"
+fi
+
 # Inventory: every output under results/ must be documented in
 # results/README.md — undocumented artifacts are a doc bug.
 status=0
