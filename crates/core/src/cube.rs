@@ -193,7 +193,12 @@ mod tests {
     #[test]
     fn cube_covers_every_subset() {
         let t = patients();
-        let cube = Cube::build(&t, &[0, 1, 2], 2).unwrap();
+        // Pinned in memory: the test reads each entry through `as_mem`,
+        // which an environment budget (e.g. CI's INCOGNITO_MEM_BUDGET)
+        // would otherwise spill. The spilled cube is covered by
+        // `tests/out_of_core_equivalence.rs`.
+        let cfg = Config::new(2).with_unlimited_memory();
+        let cube = Cube::build_with_config(&t, &[0, 1, 2], &cfg).unwrap();
         assert_eq!(cube.len(), 7); // 2³ - 1 subsets
         assert_eq!(cube.projections, 6);
         // Each cube entry equals a direct scan.

@@ -87,6 +87,13 @@ pub struct Config {
     /// out-of-core case. Results are byte-identical at every budget; only
     /// the representation (and peak memory) changes.
     pub memory_budget: Option<u64>,
+    /// Directory spilled frequency sets are written under, or `None` for
+    /// the OS temp directory. On Linux the temp directory is frequently a
+    /// RAM-backed tmpfs, where "spilling to disk" still consumes physical
+    /// memory and defeats the budget — point this at a real filesystem
+    /// when the budget matters. Each spilled set creates (and on drop
+    /// removes) its own collision-free subdirectory here.
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Config {
@@ -102,6 +109,7 @@ impl Config {
             rollup: true,
             threads: Self::default_threads(),
             memory_budget: Self::default_memory_budget(),
+            spill_dir: Self::default_spill_dir(),
         }
     }
 
@@ -172,6 +180,29 @@ impl Config {
     /// `INCOGNITO_MEM_BUDGET`): every frequency set stays in memory.
     pub fn with_unlimited_memory(mut self) -> Self {
         self.memory_budget = None;
+        self
+    }
+
+    /// The process-wide default spill directory: `INCOGNITO_SPILL_DIR`
+    /// when set to a non-empty path, else `None` (the OS temp directory —
+    /// see [`Config::spill_dir`] for the tmpfs caveat). Read once and
+    /// cached, like [`Config::default_threads`].
+    pub fn default_spill_dir() -> Option<std::path::PathBuf> {
+        static DEFAULT: std::sync::OnceLock<Option<std::path::PathBuf>> =
+            std::sync::OnceLock::new();
+        DEFAULT
+            .get_or_init(|| {
+                std::env::var_os("INCOGNITO_SPILL_DIR")
+                    .filter(|v| !v.is_empty())
+                    .map(std::path::PathBuf::from)
+            })
+            .clone()
+    }
+
+    /// Direct spilled frequency sets under `dir` instead of the OS temp
+    /// directory (see [`Config::spill_dir`]).
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
         self
     }
 

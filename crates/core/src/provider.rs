@@ -14,10 +14,16 @@
 //! The key property preserved out-of-core is the paper's §3 Rollup: a
 //! spilled parent's child is derived partition-by-partition on disk
 //! ([`ExternalFrequencySet::rollup`]) instead of falling back to a base
-//! table rescan. When the process drops back under budget, spilled
-//! results upgrade to the in-memory form (`table.spill.upgrades` counts
-//! these), so a transient spike doesn't pin the rest of the search on
-//! disk.
+//! table rescan. When the budget regains headroom for a derived set's
+//! estimated materialized size, the set upgrades to the in-memory form
+//! (`table.spill.upgrades` counts these), so a transient spike doesn't
+//! pin the rest of the search on disk.
+//!
+//! Spill files go under [`Config::spill_dir`] (builder
+//! [`Config::with_spill_dir`], environment default
+//! `INCOGNITO_SPILL_DIR`), falling back to the OS temp directory — which
+//! on Linux is frequently a RAM-backed tmpfs, where spilling still
+//! consumes physical memory; redirect it when the budget matters.
 
 use std::path::PathBuf;
 
@@ -136,13 +142,16 @@ pub struct FreqProvider<'t> {
 
 impl<'t> FreqProvider<'t> {
     /// A provider over `table` honoring `cfg.memory_budget`. Spill files
-    /// go under the OS temp directory (each set in its own collision-free
-    /// subdirectory, removed when the set drops).
+    /// go under `cfg.spill_dir` — falling back to the OS temp directory,
+    /// which on Linux is frequently a RAM-backed tmpfs; point
+    /// [`Config::with_spill_dir`] (or `INCOGNITO_SPILL_DIR`) at a real
+    /// filesystem when the budget matters. Each set spills into its own
+    /// collision-free subdirectory, removed when the set drops.
     pub fn new(table: &'t Table, cfg: &Config) -> Self {
         FreqProvider {
             table,
             budget: cfg.memory_budget,
-            spill_root: std::env::temp_dir(),
+            spill_root: cfg.spill_dir.clone().unwrap_or_else(std::env::temp_dir),
         }
     }
 
@@ -175,8 +184,8 @@ impl<'t> FreqProvider<'t> {
 
     /// The Rollup Property through the budget: an in-memory parent rolls
     /// up in memory; a spilled parent rolls up partition-by-partition on
-    /// disk, then upgrades to the in-memory form if the process is back
-    /// under budget.
+    /// disk, then upgrades to the in-memory form if the budget has
+    /// headroom for the child's estimated materialized size.
     pub fn rollup(
         &self,
         parent: &FreqHandle,
@@ -204,11 +213,25 @@ impl<'t> FreqProvider<'t> {
         }
     }
 
+    /// Upgrade a derived spilled child to the in-memory form only when
+    /// the budget has headroom for its *materialized* size, estimated
+    /// from the child's spilled footprint. A bare [`Self::over_budget`]
+    /// sample is not enough: it is a point-in-time reading that says
+    /// nothing about how large the child will be once materialized, so a
+    /// big child could blow far past the budget right after the check
+    /// passed. The estimate is an upper bound, so admission errs toward
+    /// keeping the child on disk.
     fn maybe_upgrade(&self, child: ExternalFrequencySet) -> Result<FreqHandle, AlgoError> {
-        if self.over_budget() {
-            Ok(FreqHandle::Ext(child))
-        } else {
+        let fits = match self.budget {
+            None => true,
+            Some(b) => incognito_obs::mem::live_bytes()
+                .saturating_add(child.estimated_resident_bytes())
+                <= b,
+        };
+        if fits {
             Ok(FreqHandle::Mem(child.into_frequency_set()?))
+        } else {
+            Ok(FreqHandle::Ext(child))
         }
     }
 }
@@ -265,6 +288,55 @@ mod tests {
         let mem_rolled = mem.rollup(schema, &target).unwrap();
         assert_eq!(rolled.num_groups().unwrap(), mem_rolled.num_groups());
         assert_eq!(rolled.tuples_below(5).unwrap(), mem_rolled.tuples_below(5));
+    }
+
+    #[test]
+    fn spill_dir_config_redirects_spill_files() {
+        let t = patients();
+        let root = std::env::temp_dir()
+            .join(format!("incognito-spill-dir-test-{}", std::process::id()));
+        let cfg = Config::new(2).with_memory_budget(0).with_spill_dir(&root);
+        let p = FreqProvider::new(&t, &cfg);
+        let spec = GroupSpec::ground(&[0, 1]).unwrap();
+        let h = p.scan(&spec, 1).unwrap();
+        assert!(h.is_spilled());
+        let subdirs = std::fs::read_dir(&root)
+            .expect("configured spill root was created")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("incognito-spill-"))
+            .count();
+        assert_eq!(subdirs, 1, "the set spills under the configured root");
+        drop(h);
+        assert_eq!(
+            std::fs::read_dir(&root).unwrap().count(),
+            0,
+            "dropping the set removes its spill subdirectory"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn upgrade_requires_headroom_for_materialized_size_not_just_budget() {
+        use incognito_data::{adults, AdultsConfig};
+        // A wide ground spec keeps the group count near the row count, so
+        // the same-level rollup below produces a child whose estimated
+        // in-memory footprint (megabytes) dwarfs the headroom granted.
+        let t = adults(&AdultsConfig { rows: 20_000, seed: 13 });
+        let spec = GroupSpec::ground(&[0, 1, 2, 3]).unwrap();
+        let ext = ExternalFrequencySet::build(&t, &spec, 8, &std::env::temp_dir()).unwrap();
+        let parent = FreqHandle::Ext(ext);
+        // Live bytes sit under this budget (the pre-fix point-in-time
+        // check would admit the upgrade), but the headroom is far below
+        // the child's estimated materialized size.
+        let budget = incognito_obs::mem::live_bytes() + (256 << 10);
+        let cfg = Config::new(2).with_memory_budget(budget);
+        let p = FreqProvider::new(&t, &cfg);
+        assert!(!p.over_budget(), "precondition: the sample alone says 'under budget'");
+        let child = p.rollup(&parent, t.schema(), &[0, 0, 0, 0]).unwrap();
+        assert!(
+            child.is_spilled(),
+            "a child too big for the remaining headroom must stay on disk"
+        );
     }
 
     #[test]

@@ -291,6 +291,21 @@ impl ExternalFrequencySet {
         self.arity * 4 + 8
     }
 
+    /// Upper-bound estimate of the heap bytes
+    /// [`ExternalFrequencySet::into_frequency_set`] would occupy. The
+    /// spilled record count bounds the distinct group count from above (a
+    /// built set holds one record per row; a derived set at most one
+    /// record per group per parent partition), each group costs one
+    /// hash-map slot in memory, and the factor of two covers the map's
+    /// growth slack (capacity can reach ~2× the entry count after a
+    /// doubling). Budget admission checks compare this against headroom
+    /// *before* materializing, so the estimate deliberately errs high.
+    pub fn estimated_resident_bytes(&self) -> u64 {
+        let records = self.spilled_bytes() / self.record_len() as u64;
+        let slot = std::mem::size_of::<(GroupKey, u64)>() as u64 + 1;
+        records.saturating_mul(slot).saturating_mul(2)
+    }
+
     /// Check the partition file's length against the exact byte count the
     /// build wrote, once; later queries reuse the verdict instead of
     /// re-`stat`ing. Runs *before* any aggregation so a truncated file is
